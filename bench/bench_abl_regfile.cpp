@@ -1,0 +1,39 @@
+// Ablation: the two-level VSX register file.  Re-runs the Figure 5
+// 12-FMA row with the architected-register limit removed — the cliff
+// past 6 threads disappears.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/core/coresim.hpp"
+
+int main() {
+  using namespace p8;
+  bench::print_header("Ablation",
+                      "128-register VSX file vs unlimited (Fig. 5, 12 FMAs)");
+
+  const sim::CoreSim limited{sim::CoreSimConfig{}};
+  sim::CoreSimConfig unlimited_cfg;
+  unlimited_cfg.unlimited_registers = true;
+  const sim::CoreSim unlimited{unlimited_cfg};
+
+  common::TextTable t({"Threads/core", "Registers used", "128-reg file",
+                       "unlimited file"});
+  for (int threads = 1; threads <= 8; ++threads) {
+    t.add_row(
+        {std::to_string(threads),
+         std::to_string(limited.registers_used(threads, 12)),
+         common::fmt_num(
+             100.0 * limited.run_fma_loop(threads, 12).fraction_of_peak, 0) +
+             "%",
+         common::fmt_num(
+             100.0 * unlimited.run_fma_loop(threads, 12).fraction_of_peak,
+             0) +
+             "%"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("The drop beyond 6 threads (144 > 128 registers) is entirely\n"
+              "attributable to the second-level register storage.\n");
+  return 0;
+}

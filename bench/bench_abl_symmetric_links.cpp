@@ -1,0 +1,46 @@
+// Ablation: what if the Centaur links were symmetric?  Rebuilds the
+// Table III sweep with the same total link bandwidth split evenly
+// between reads and writes — the 2:1 optimum moves to 1:1 and the
+// read-heavy mixes lose.
+#include <cstdio>
+
+#include "arch/spec.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/mem/bandwidth.hpp"
+
+int main() {
+  using namespace p8;
+  bench::print_header(
+      "Ablation", "asymmetric (2 read + 1 write) vs symmetric Centaur links");
+
+  const arch::SystemSpec real = arch::e870();
+  arch::SystemSpec symmetric = real;
+  // Same 28.8 GB/s total per Centaur, split evenly.
+  symmetric.centaur.read_link_gbs = 14.4;
+  symmetric.centaur.write_link_gbs = 14.4;
+
+  const sim::MemoryBandwidthModel real_model(real);
+  const sim::MemoryBandwidthModel sym_model(symmetric);
+
+  struct Row {
+    const char* name;
+    sim::RwMix mix;
+  };
+  const Row rows[] = {{"Read Only", {1, 0}}, {"4:1", {4, 1}},
+                      {"2:1", {2, 1}},       {"1:1", {1, 1}},
+                      {"1:2", {1, 2}},       {"Write Only", {0, 1}}};
+
+  common::TextTable t({"Mix", "Asymmetric (GB/s)", "Symmetric (GB/s)"});
+  for (const auto& r : rows)
+    t.add_row({r.name,
+               common::fmt_num(real_model.system_stream_gbs(r.mix), 0),
+               common::fmt_num(sym_model.system_stream_gbs(r.mix), 0)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf(
+      "The 2:1 read:write design matches the STREAM-like mixes real codes\n"
+      "produce (every write of a cached line implies reads); a symmetric\n"
+      "split would favour 1:1 but starve read-dominated workloads.\n");
+  return 0;
+}

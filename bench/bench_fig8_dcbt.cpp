@@ -1,0 +1,52 @@
+// Regenerates Figure 8: achieved read bandwidth (percent of the
+// large-block asymptote) for the random-block sequential scan, with
+// and without DCBT stream hints.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/machine/machine.hpp"
+#include "ubench/workloads.hpp"
+
+int main() {
+  using namespace p8;
+  bench::print_header("Figure 8",
+                      "random-block scan bandwidth with and without DCBT");
+
+  const sim::Machine machine = sim::Machine::e870();
+
+  const std::uint64_t sizes[] = {512,  1024,  2048,  4096,
+                                 8192, 16384, 32768, 65536};
+  // Normalize to the best large-block figure, as the paper plots
+  // percent of peak.
+  double peak = 0.0;
+  std::vector<std::pair<double, double>> results;
+  for (const std::uint64_t bs : sizes) {
+    ubench::DcbtOptions plain;
+    plain.block_bytes = bs;
+    plain.total_bytes = 32ull << 20;
+    ubench::DcbtOptions hinted = plain;
+    hinted.use_dcbt = true;
+    const double a = ubench::dcbt_block_bandwidth_gbs(machine, plain);
+    const double b = ubench::dcbt_block_bandwidth_gbs(machine, hinted);
+    results.emplace_back(a, b);
+    peak = std::max({peak, a, b});
+  }
+
+  common::TextTable t({"Block size", "no DCBT (% peak)", "DCBT (% peak)",
+                       "DCBT gain"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto [a, b] = results[i];
+    t.add_row({common::fmt_bytes(static_cast<double>(sizes[i])),
+               common::fmt_num(100.0 * a / peak, 0) + "%",
+               common::fmt_num(100.0 * b / peak, 0) + "%",
+               common::fmt_num(100.0 * (b / a - 1.0), 0) + "%"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Paper: DCBT gains exceed 25%% for small arrays (the hardware\n"
+              "detector engages too late) and become negligible for large\n"
+              "ones.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks of the native application kernels:
+// CSR SpMV, tiled graph SpMV, all-pairs Jaccard and the HF Fock
+// builders.  These time the real host code (not the machine model) and
+// exist for regression tracking of the library itself.
+#include <benchmark/benchmark.h>
+
+#include "common/threading.hpp"
+#include "graph/matrices.hpp"
+#include "graph/rmat.hpp"
+#include "hf/scf.hpp"
+#include "jaccard/jaccard.hpp"
+#include "spmv/csr_spmv.hpp"
+#include "spmv/graph_spmv.hpp"
+
+namespace {
+
+using namespace p8;
+
+common::ThreadPool& pool() {
+  static common::ThreadPool p(common::default_thread_count());
+  return p;
+}
+
+const graph::CsrMatrix& rmat14() {
+  static const graph::CsrMatrix m = [] {
+    graph::RmatOptions o;
+    o.scale = 14;
+    o.edge_factor = 16;
+    return graph::rmat_adjacency(o);
+  }();
+  return m;
+}
+
+void BM_CsrSpmvUniform(benchmark::State& state) {
+  const graph::CsrMatrix a =
+      graph::random_uniform(static_cast<std::uint32_t>(state.range(0)), 16, 1);
+  std::vector<double> x(a.cols(), 1.0);
+  std::vector<double> y(a.rows());
+  const spmv::CsrSpmvPlan plan(a, pool().size());
+  for (auto _ : state) {
+    spmv::spmv(a, x, y, pool(), plan);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_CsrSpmvUniform)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_CsrSpmvRmat(benchmark::State& state) {
+  const auto& a = rmat14();
+  std::vector<double> x(a.cols(), 1.0);
+  std::vector<double> y(a.rows());
+  const spmv::CsrSpmvPlan plan(a, pool().size());
+  for (auto _ : state) {
+    spmv::spmv(a, x, y, pool(), plan);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_CsrSpmvRmat);
+
+void BM_TiledSpmvRmat(benchmark::State& state) {
+  const auto& a = rmat14();
+  spmv::TiledOptions opts;
+  opts.col_block = static_cast<std::uint32_t>(state.range(0));
+  opts.row_block = opts.col_block;
+  spmv::TiledSpmv tiled(a, opts);
+  std::vector<double> x(a.cols(), 1.0);
+  std::vector<double> y(a.rows());
+  for (auto _ : state) {
+    tiled.execute(x, y, pool());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_TiledSpmvRmat)->Arg(2048)->Arg(8192)->Arg(32768);
+
+void BM_JaccardAllPairs(benchmark::State& state) {
+  graph::RmatOptions o;
+  o.scale = static_cast<int>(state.range(0));
+  o.edge_factor = 8;
+  const graph::Graph g = graph::rmat_graph(o);
+  for (auto _ : state) {
+    const auto result = jaccard::all_pairs(g, pool());
+    benchmark::DoNotOptimize(result.similarities.nnz());
+  }
+}
+BENCHMARK(BM_JaccardAllPairs)->Arg(10)->Arg(12);
+
+void BM_HfFockRecompute(benchmark::State& state) {
+  hf::ScfSolver solver(hf::alkane(4), pool());
+  const la::Matrix p = solver.density_from_fock(
+      hf::core_hamiltonian(solver.basis(), solver.molecule()));
+  for (auto _ : state) {
+    const la::Matrix f = solver.fock(p, 1e-10);
+    benchmark::DoNotOptimize(f(0, 0));
+  }
+}
+BENCHMARK(BM_HfFockRecompute);
+
+void BM_HfFockFromList(benchmark::State& state) {
+  hf::ScfSolver solver(hf::alkane(4), pool());
+  const la::Matrix p = solver.density_from_fock(
+      hf::core_hamiltonian(solver.basis(), solver.molecule()));
+  const auto list = solver.precompute_eris(1e-10);
+  for (auto _ : state) {
+    const la::Matrix f = solver.fock_from_list(p, list);
+    benchmark::DoNotOptimize(f(0, 0));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(list.size() * 16));
+}
+BENCHMARK(BM_HfFockFromList);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Shared helpers for the bench binaries: every bench regenerates one
+// table or figure of the paper and prints it in a uniform style, with
+// the paper's reported value alongside the model/measured value where
+// the paper states one.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace p8::bench {
+
+inline void print_header(const std::string& artifact,
+                         const std::string& description) {
+  std::printf("=======================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+  std::printf("=======================================================\n");
+}
+
+/// "model vs paper" cell: value, paper value, and the ratio.
+inline std::string vs_paper(double value, double paper, int digits = 0) {
+  return common::fmt_num(value, digits) + " (paper " +
+         common::fmt_num(paper, digits) + ", " +
+         common::fmt_num(100.0 * value / paper, 0) + "%)";
+}
+
+}  // namespace p8::bench

@@ -1,0 +1,103 @@
+// machine_explorer: an interactive-style tour of the POWER8 machine
+// model from the command line.
+//
+//   machine_explorer --what=latency   --from=0 --to=5
+//   machine_explorer --what=stream    --chips=8 --cores=8 --smt=8 --read=2 --write=1
+//   machine_explorer --what=random    --smt=8 --streams=4
+//   machine_explorer --what=chase     --ws-kb=4096 --page-kb=64 --dscr=1
+//   machine_explorer --what=fma       --threads=6 --fmas=12
+//   machine_explorer --what=noc       (the whole Table IV)
+//
+// Every query prints what it asked the model and the answer with the
+// matching paper context.
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "sim/machine/machine.hpp"
+#include "ubench/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p8;
+  common::ArgParser args(argc, argv);
+  const std::string what = args.get_string(
+      "what", "summary", "latency|stream|random|chase|fma|noc|summary");
+  const int from = static_cast<int>(args.get_int("from", 0, "consumer chip"));
+  const int to = static_cast<int>(args.get_int("to", 4, "memory home chip"));
+  const int chips = static_cast<int>(args.get_int("chips", 8, ""));
+  const int cores = static_cast<int>(args.get_int("cores", 8, ""));
+  const int smt = static_cast<int>(args.get_int("smt", 8, ""));
+  const double read = args.get_double("read", 2.0, "read share of the mix");
+  const double write = args.get_double("write", 1.0, "write share");
+  const int streams = static_cast<int>(args.get_int("streams", 4, ""));
+  const std::int64_t ws_kb = args.get_int("ws-kb", 4096, "working set (KiB)");
+  const std::int64_t page_kb = args.get_int("page-kb", 64, "64 or 16384");
+  const int dscr = static_cast<int>(args.get_int("dscr", 1, "0..7"));
+  const int threads = static_cast<int>(args.get_int("threads", 1, ""));
+  const int fmas = static_cast<int>(args.get_int("fmas", 12, ""));
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
+  const sim::Machine machine = sim::Machine::e870();
+
+  if (what == "summary") {
+    std::printf("%s: %d cores, %.0f GFLOP/s, %.0f GB/s (2:1), balance %.2f\n",
+                machine.spec().name.c_str(), machine.spec().total_cores(),
+                machine.peak_dp_gflops(), machine.peak_mem_gbs(),
+                machine.spec().balance());
+    std::printf("Try --what=latency|stream|random|chase|fma|noc\n");
+  } else if (what == "latency") {
+    std::printf("chip%d reading memory homed on chip%d:\n", from, to);
+    std::printf("  demand (no prefetch): %.0f ns\n",
+                machine.noc().memory_latency_ns(from, to));
+    std::printf("  sequential w/ prefetch: %.1f ns\n",
+                machine.noc().memory_latency_prefetched_ns(from, to));
+    if (from != to)
+      std::printf("  point bandwidth: %.1f GB/s one-direction, %.1f GB/s "
+                  "bidirectional\n",
+                  machine.noc().one_direction_gbs(from, to),
+                  machine.noc().bidirection_gbs(from, to));
+  } else if (what == "stream") {
+    const double bw =
+        machine.memory().stream_gbs(chips, cores, smt, {read, write});
+    std::printf("STREAM %g:%g on %d chips x %d cores x SMT%d: %.0f GB/s\n",
+                read, write, chips, cores, smt, bw);
+  } else if (what == "random") {
+    std::printf("random access, 64 cores, SMT%d, %d lists/thread: %.0f GB/s\n",
+                smt, streams,
+                machine.memory().random_gbs(8, 8, smt, streams));
+  } else if (what == "chase") {
+    ubench::ChaseOptions opt;
+    opt.working_set_bytes = static_cast<std::uint64_t>(ws_kb) << 10;
+    opt.page_bytes = static_cast<std::uint64_t>(page_kb) << 10;
+    opt.dscr = dscr;
+    std::printf("pointer chase, %lld KiB working set, %lld KiB pages, "
+                "DSCR %d: %.1f ns/load\n",
+                static_cast<long long>(ws_kb),
+                static_cast<long long>(page_kb), dscr,
+                ubench::chase_latency_ns(machine, opt));
+  } else if (what == "fma") {
+    const auto r = machine.core_sim().run_fma_loop(threads, fmas);
+    std::printf("%d threads x %d-FMA loop: %.0f%% of peak "
+                "(%d VSX registers used)\n",
+                threads, fmas, 100.0 * r.fraction_of_peak,
+                machine.core_sim().registers_used(threads, fmas));
+  } else if (what == "noc") {
+    for (int chip = 1; chip < machine.spec().total_chips(); ++chip)
+      std::printf("chip0 <-> chip%d: %3.0f ns, %4.1f / %4.1f GB/s\n", chip,
+                  machine.noc().memory_latency_ns(0, chip),
+                  machine.noc().one_direction_gbs(0, chip),
+                  machine.noc().bidirection_gbs(0, chip));
+    std::printf("aggregates: X %.0f GB/s, A %.0f GB/s, all-to-all %.0f GB/s\n",
+                machine.noc().xbus_aggregate_gbs(),
+                machine.noc().abus_aggregate_gbs(),
+                machine.noc().all_to_all_gbs());
+  } else {
+    std::fprintf(stderr, "unknown --what=%s\n%s", what.c_str(),
+                 args.help().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// quantum_chemistry: the paper's §V-C workflow on one molecule.
+//
+// Builds a molecule, shows the basis/screening bookkeeping (Table V
+// style), runs SCF in both ERI modes (HF-Comp vs HF-Mem, Table VI
+// style) and reports energy and timing.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/threading.hpp"
+#include "hf/scf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p8;
+  common::ArgParser args(argc, argv);
+  const std::string kind = args.get_string(
+      "molecule", "alkane", "alkane|graphene|dna|protein|h2");
+  const int size = static_cast<int>(args.get_int("size", 6, "molecule size"));
+  const double tol =
+      args.get_double("screen-tol", 1e-10, "Schwarz screening tolerance");
+  const bool double_zeta =
+      args.get_flag("double-zeta", "add a diffuse s shell per atom");
+  const int threads = static_cast<int>(args.get_int(
+      "threads", static_cast<int>(common::default_thread_count()), ""));
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
+  hf::Molecule molecule;
+  if (kind == "alkane") molecule = hf::alkane(size);
+  else if (kind == "graphene") molecule = hf::graphene(size);
+  else if (kind == "dna") molecule = hf::dna_fragment(size);
+  else if (kind == "protein") molecule = hf::protein_cluster(size, 7);
+  else if (kind == "h2") molecule = hf::h2();
+  else {
+    std::fprintf(stderr, "unknown --molecule=%s\n", kind.c_str());
+    return 1;
+  }
+
+  common::ThreadPool pool(static_cast<std::size_t>(threads));
+  hf::BasisOptions basis_options;
+  basis_options.double_zeta = double_zeta;
+  hf::ScfSolver solver(molecule, pool, basis_options);
+
+  std::printf("Molecule %s: %zu atoms, %d electrons, %zu basis functions\n",
+              molecule.name.c_str(), molecule.atoms.size(),
+              molecule.electrons(), solver.basis().size());
+  const std::uint64_t kept = solver.count_nonscreened(tol);
+  const std::uint64_t all = solver.count_nonscreened(0.0);
+  std::printf("ERI tensor: %lu unique quartets, %lu survive screening at "
+              "%.0e (%.1f%%), %.1f MB to store\n",
+              static_cast<unsigned long>(all),
+              static_cast<unsigned long>(kept), tol, 100.0 * kept / all,
+              kept * sizeof(hf::PackedEri) / 1e6);
+
+  hf::ScfOptions comp;
+  comp.mode = hf::EriMode::kRecompute;
+  comp.screen_tolerance = tol;
+  const hf::ScfResult rc = solver.run(comp);
+  std::printf("\nHF-Comp (recompute every iteration):\n");
+  std::printf("  E = %.8f hartree after %d iterations (%s), %.2f s total "
+              "(%.3f s/Fock)\n",
+              rc.energy, rc.iterations,
+              rc.converged ? "converged" : "NOT converged",
+              rc.timings.total_s, rc.timings.fock_s);
+
+  hf::ScfOptions mem;
+  mem.mode = hf::EriMode::kPrecompute;
+  mem.screen_tolerance = tol;
+  const hf::ScfResult rm = solver.run(mem);
+  std::printf("HF-Mem (precompute and stream):\n");
+  std::printf("  E = %.8f hartree after %d iterations (%s)\n", rm.energy,
+              rm.iterations, rm.converged ? "converged" : "NOT converged");
+  std::printf("  precompute %.2f s, then %.3f s/Fock + %.3f s/density; "
+              "%.2f s total\n",
+              rm.timings.precompute_s, rm.timings.fock_s,
+              rm.timings.density_s, rm.timings.total_s);
+  std::printf("\nSpeedup HF-Mem over HF-Comp: %.2fx (paper: 3.0-5.3x); "
+              "energy agreement: %.2e hartree\n",
+              rc.timings.total_s / rm.timings.total_s,
+              std::abs(rc.energy - rm.energy));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: ten minutes with the library.
+//
+// Builds the E870 machine model, asks it the paper's three headline
+// questions (how fast is memory? how far is another socket? when does
+// an FMA loop saturate?), then runs one real application kernel
+// (all-pairs Jaccard) natively on the host.
+#include <cstdio>
+
+#include "common/threading.hpp"
+#include "common/timer.hpp"
+#include "graph/rmat.hpp"
+#include "jaccard/jaccard.hpp"
+#include "sim/machine/machine.hpp"
+
+int main() {
+  using namespace p8;
+
+  // --- 1. The machine model -------------------------------------------------
+  const sim::Machine machine = sim::Machine::e870();
+  std::printf("Machine: %s\n", machine.spec().name.c_str());
+  std::printf("  %d chips x %d cores x SMT%d @ %.2f GHz -> %.0f GFLOP/s\n",
+              machine.spec().total_chips(), machine.spec().cores_per_chip,
+              machine.spec().processor.core.smt_threads,
+              machine.spec().clock_ghz, machine.peak_dp_gflops());
+
+  // Sustained STREAM bandwidth at the optimal 2:1 read:write mix.
+  std::printf("  STREAM 2:1: %.0f GB/s (of %.0f GB/s peak)\n",
+              machine.memory().system_stream_gbs({2, 1}),
+              machine.peak_mem_gbs());
+
+  // Latency to a socket in the other chip group, with and without the
+  // hardware prefetcher.
+  std::printf("  chip0 -> chip4 memory: %.0f ns demand, %.1f ns prefetched\n",
+              machine.noc().memory_latency_ns(0, 4),
+              machine.noc().memory_latency_prefetched_ns(0, 4));
+
+  // How many independent FMAs does one core need in flight?
+  const sim::CoreSim core = machine.core_sim();
+  for (const int fmas : {4, 12}) {
+    const auto r = core.run_fma_loop(/*threads=*/1, fmas);
+    std::printf("  1 thread, %2d-FMA loop: %.0f%% of peak\n", fmas,
+                100.0 * r.fraction_of_peak);
+  }
+
+  // --- 2. A real kernel on the host ------------------------------------------
+  graph::RmatOptions opt;
+  opt.scale = 13;
+  opt.edge_factor = 16;
+  const graph::Graph g = graph::rmat_graph(opt);
+  std::printf("\nR-MAT scale %d: %u vertices, %lu edges\n", opt.scale,
+              g.vertices(), static_cast<unsigned long>(g.edges()));
+
+  common::ThreadPool pool(common::default_thread_count());
+  common::Timer timer;
+  const jaccard::Result result = jaccard::all_pairs(g, pool);
+  std::printf("All-pairs Jaccard: %lu similar pairs in %.2f s, output %.1f MB "
+              "(input %.1f MB)\n",
+              static_cast<unsigned long>(result.similarities.nnz()),
+              timer.seconds(), result.output_bytes / 1e6,
+              g.adjacency.memory_bytes() / 1e6);
+  return 0;
+}

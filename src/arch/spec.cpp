@@ -1,0 +1,84 @@
+#include "arch/spec.hpp"
+
+using p8::common::kib;
+using p8::common::mib;
+
+namespace p8::arch {
+
+ProcessorSpec power7() {
+  ProcessorSpec p;
+  p.name = "POWER7";
+  p.max_cores = 8;
+  p.cache_line_bytes = 128;
+  p.max_l4_bytes = 0;  // no L4
+  p.core.smt_threads = 4;
+  p.core.l1i_bytes = kib(32);
+  p.core.l1d_bytes = kib(32);
+  p.core.l2_bytes = kib(256);
+  p.core.l3_bytes = mib(4);
+  p.core.issue_width = 8;
+  p.core.commit_width = 6;
+  p.core.loads_per_cycle = 2;
+  p.core.stores_per_cycle = 2;
+  p.core.vsx_pipes = 2;
+  p.core.vsx_latency_cycles = 6;
+  p.core.vsx_dp_lanes = 2;
+  p.core.arch_vsx_registers = 64;
+  p.core.rename_vsx_registers = 80;
+  p.core.load_miss_queue = 8;
+  return p;
+}
+
+ProcessorSpec power8() {
+  ProcessorSpec p;
+  p.name = "POWER8";
+  p.max_cores = 12;
+  p.cache_line_bytes = 128;
+  p.max_l4_bytes = mib(128);
+  p.core.smt_threads = 8;
+  p.core.l1i_bytes = kib(32);
+  p.core.l1d_bytes = kib(64);
+  p.core.l2_bytes = kib(512);
+  p.core.l3_bytes = mib(8);
+  p.core.issue_width = 10;
+  p.core.commit_width = 8;
+  p.core.loads_per_cycle = 4;
+  p.core.stores_per_cycle = 2;
+  // §III-C: two symmetric VSX pipes, 6-cycle latency, 128 architected
+  // VSX registers backed by a larger rename pool with higher access
+  // cost.
+  p.core.vsx_pipes = 2;
+  p.core.vsx_latency_cycles = 6;
+  p.core.vsx_dp_lanes = 2;
+  p.core.arch_vsx_registers = 128;
+  p.core.rename_vsx_registers = 106;
+  p.core.load_miss_queue = 16;
+  return p;
+}
+
+SystemSpec e870() {
+  SystemSpec s;
+  s.name = "IBM Power System E870";
+  s.processor = power8();
+  s.sockets = 8;
+  s.chips_per_socket = 1;
+  s.cores_per_chip = 8;
+  s.centaurs_per_chip = 8;
+  s.clock_ghz = 4.35;
+  return s;
+}
+
+SystemSpec max_power8_smp() {
+  SystemSpec s;
+  s.name = "POWER8 192-way SMP (maximum configuration)";
+  s.processor = power8();
+  s.sockets = 16;
+  s.chips_per_socket = 1;   // one 12-core processor per socket
+  s.cores_per_chip = 12;
+  s.centaurs_per_chip = 8;
+  s.clock_ghz = 4.0;
+  s.chips_per_group = 4;
+  return s;
+}
+
+}  // namespace p8::arch

@@ -1,0 +1,95 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace p8::common {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      given_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      given_[arg] = argv[++i];
+    } else {
+      given_[arg] = "";  // bare flag
+    }
+  }
+}
+
+std::string ArgParser::get_string(const std::string& name, std::string def,
+                                  const std::string& help) {
+  decls_.push_back({name, def, help});
+  const auto it = given_.find(name);
+  if (it == given_.end()) return def;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name, std::int64_t def,
+                                const std::string& help) {
+  decls_.push_back({name, std::to_string(def), help});
+  const auto it = given_.find(name);
+  if (it == given_.end()) return def;
+  consumed_[name] = true;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& name, double def,
+                             const std::string& help) {
+  // Note: the default is returned as-is, never round-tripped through a
+  // string (std::to_string renders 1e-10 as "0.000000").
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", def);
+  decls_.push_back({name, buf, help});
+  const auto it = given_.find(name);
+  if (it == given_.end()) return def;
+  consumed_[name] = true;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool ArgParser::get_flag(const std::string& name, const std::string& help) {
+  decls_.push_back({name, "false", help});
+  const auto it = given_.find(name);
+  if (it == given_.end()) return false;
+  consumed_[name] = true;
+  return it->second.empty() || it->second == "1" || it->second == "true";
+}
+
+bool ArgParser::finish() const {
+  for (const auto& [name, value] : given_) {
+    (void)value;
+    if (name == "help") continue;
+    if (!consumed_.count(name))
+      throw std::invalid_argument("unknown option --" + name);
+  }
+  return given_.count("help") != 0;
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream out;
+  out << "usage: " << program_ << " [options]\n";
+  for (const auto& d : decls_)
+    out << "  --" << d.name << " (default: " << d.def << ")  " << d.help
+        << "\n";
+  return out.str();
+}
+
+}  // namespace p8::common

@@ -1,0 +1,51 @@
+// Minimal command-line option parsing for the bench and example
+// binaries.  Options take the form `--name=value` or `--name value`;
+// bare `--name` sets a flag.  Unknown options are an error so typos in
+// sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace p8::common {
+
+class ArgParser {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  ArgParser(int argc, const char* const* argv);
+
+  /// Declares an option with a default, returning the parsed value.
+  /// Declaring is what makes an option "known".
+  std::string get_string(const std::string& name, std::string def,
+                         const std::string& help);
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help);
+  double get_double(const std::string& name, double def,
+                    const std::string& help);
+  bool get_flag(const std::string& name, const std::string& help);
+
+  /// Call after all options are declared: throws if the command line
+  /// contained an option that was never declared.  Returns true if
+  /// `--help` was requested (caller should print `help()` and exit).
+  bool finish() const;
+
+  /// Usage text assembled from the declared options.
+  std::string help() const;
+
+ private:
+  struct Decl {
+    std::string name;
+    std::string def;
+    std::string help;
+  };
+
+  std::string program_;
+  std::map<std::string, std::string> given_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<Decl> decls_;
+};
+
+}  // namespace p8::common

@@ -1,0 +1,45 @@
+// Precondition checking.
+//
+// Library code validates arguments with P8_REQUIRE, which throws
+// std::invalid_argument carrying the failed expression and location.
+// Internal invariants use P8_ASSERT, which throws std::logic_error —
+// an internal bug, not a caller error.  Exceptions (rather than
+// assert()) keep the checks active in release builds; none of these
+// sit on hot paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace p8::common {
+
+[[noreturn]] inline void throw_requirement_failure(const char* expr,
+                                                   const char* file, int line,
+                                                   const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement failed: " + expr +
+                              (msg.empty() ? "" : " — " + msg));
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr,
+                                              const char* file, int line,
+                                              const std::string& msg) {
+  throw std::logic_error(std::string(file) + ":" + std::to_string(line) +
+                         ": internal invariant violated: " + expr +
+                         (msg.empty() ? "" : " — " + msg));
+}
+
+}  // namespace p8::common
+
+#define P8_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::p8::common::throw_requirement_failure(#expr, __FILE__, __LINE__,   \
+                                              (msg));                      \
+  } while (false)
+
+#define P8_ASSERT(expr, msg)                                               \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::p8::common::throw_assert_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,41 @@
+#include "common/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace p8::common {
+
+std::vector<std::size_t> balanced_partition(
+    std::span<const std::uint64_t> weights, std::size_t parts) {
+  P8_REQUIRE(parts >= 1, "need at least one part");
+  const std::size_t n = weights.size();
+  std::vector<std::uint64_t> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + weights[i];
+
+  std::vector<std::size_t> bounds(parts + 1, n);
+  bounds[0] = 0;
+  const std::uint64_t total = prefix[n];
+  for (std::size_t p = 1; p < parts; ++p) {
+    // Target weight for the first p parts, rounded to nearest.
+    const std::uint64_t target =
+        (total * p + parts / 2) / parts;
+    const auto it =
+        std::lower_bound(prefix.begin(), prefix.end(), target);
+    std::size_t idx = static_cast<std::size_t>(it - prefix.begin());
+    idx = std::max(idx, bounds[p - 1]);  // keep monotone
+    bounds[p] = std::min(idx, n);
+  }
+  return bounds;
+}
+
+std::vector<std::size_t> partition_rows_by_nnz(
+    std::span<const std::uint64_t> row_ptr, std::size_t parts) {
+  P8_REQUIRE(!row_ptr.empty(), "row_ptr must have n+1 entries");
+  const std::size_t n = row_ptr.size() - 1;
+  std::vector<std::uint64_t> weights(n);
+  for (std::size_t i = 0; i < n; ++i) weights[i] = row_ptr[i + 1] - row_ptr[i];
+  return balanced_partition(weights, parts);
+}
+
+}  // namespace p8::common

@@ -1,0 +1,33 @@
+// Weighted 1-D partitioning.
+//
+// Paper §V-B1: "a static 1D partitioning to assign a group of
+// contiguous rows to the same thread, and balance the number of
+// nonzeros per partition."  This module provides that primitive:
+// splitting a weighted sequence into P contiguous parts with
+// near-equal total weight.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace p8::common {
+
+/// Splits [0, weights.size()) into `parts` contiguous ranges whose
+/// total weights are balanced.  Returns `parts + 1` boundaries
+/// (b[0]=0, b[parts]=n); part p owns [b[p], b[p+1]).
+///
+/// Uses the prefix-sum equal-area heuristic: boundary p is placed at
+/// the first index whose prefix weight reaches p/parts of the total.
+/// Empty parts are possible when there are more parts than items or a
+/// single item dominates; boundaries stay monotone either way.
+std::vector<std::size_t> balanced_partition(std::span<const std::uint64_t> weights,
+                                            std::size_t parts);
+
+/// Convenience: partition boundaries over CSR row_ptr so each part has
+/// a near-equal nonzero count.  `row_ptr` has n+1 entries.
+std::vector<std::size_t> partition_rows_by_nnz(std::span<const std::uint64_t> row_ptr,
+                                               std::size_t parts);
+
+}  // namespace p8::common

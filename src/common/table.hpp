@@ -1,0 +1,47 @@
+// Paper-style text tables.
+//
+// Every bench binary prints its table/figure as an aligned ASCII table
+// (and optionally CSV) so the output can be compared row-by-row with
+// the paper.  TextTable collects rows of strings; the printer computes
+// column widths.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace p8::common {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Renders with a header rule, space-padded cells, right-aligned
+  /// numeric-looking cells.
+  std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas are quoted).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("1472", "26.4", "0.83").
+std::string fmt_num(double value, int digits = 1);
+
+/// Formats a byte count in a human unit ("64 KB", "8 MB", "1.5 GB").
+std::string fmt_bytes(double bytes);
+
+}  // namespace p8::common

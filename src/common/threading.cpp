@@ -1,0 +1,119 @@
+#include "common/threading.hpp"
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace p8::common {
+
+ThreadPool::ThreadPool(std::size_t threads) : threads_(threads) {
+  P8_REQUIRE(threads >= 1, "pool needs at least one worker");
+  workers_.reserve(threads_ - 1);
+  for (std::size_t id = 1; id < threads_; ++id)
+    workers_.emplace_back([this, id] { worker_loop(id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(id);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
+  if (threads_ == 1) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &body;
+    remaining_ = threads_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // The caller is worker 0.
+  std::exception_ptr own_error;
+  try {
+    body(0);
+  } catch (...) {
+    own_error = std::current_exception();
+  }
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (own_error) std::rethrow_exception(own_error);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::static_range(
+    std::size_t begin, std::size_t end, std::size_t worker) const {
+  const std::size_t n = end > begin ? end - begin : 0;
+  const std::size_t base = n / threads_;
+  const std::size_t extra = n % threads_;
+  const std::size_t lo =
+      begin + worker * base + std::min(worker, extra);
+  const std::size_t len = base + (worker < extra ? 1 : 0);
+  return {lo, lo + len};
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  run_on_all([&](std::size_t w) {
+    auto [lo, hi] = static_range(begin, end, w);
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  P8_REQUIRE(chunk >= 1, "chunk must be positive");
+  std::atomic<std::size_t> next{begin};
+  run_on_all([&](std::size_t) {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(lo + chunk, end);
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }
+  });
+}
+
+std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+}  // namespace p8::common

@@ -1,0 +1,99 @@
+// Shared-memory parallel runtime.
+//
+// The paper's applications are OpenMP-style threaded codes pinned to
+// the E870's 64 cores.  We provide the same model with a reusable
+// fixed-size thread pool: workers are created once and fed blocking
+// parallel-for regions, mirroring an OpenMP parallel-for with static
+// or dynamic (chunked) scheduling.  All application kernels
+// (SpMV, Jaccard, Hartree-Fock) run on this pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p8::common {
+
+/// A fixed pool of worker threads executing fork-join regions.
+///
+/// Usage:
+///   ThreadPool pool(8);
+///   pool.parallel_for(0, n, [&](std::size_t i) { ... });
+///
+/// The calling thread participates as worker 0, so a pool of size 1
+/// never context-switches.  Exceptions thrown by the body are captured
+/// and rethrown on the calling thread (first one wins).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (>= 1).  `threads - 1` OS threads are
+  /// spawned; the caller acts as the remaining one.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_; }
+
+  /// Runs `body(worker_id)` on every worker and waits for all.
+  void run_on_all(const std::function<void(std::size_t)>& body);
+
+  /// Statically partitioned parallel loop over [begin, end).
+  /// `body(i)` is invoked exactly once for each index.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Dynamically scheduled loop: indices are handed out in chunks of
+  /// `chunk` from a shared counter — the "dynamic scheduling of small
+  /// tasks" pattern from paper §III-D.
+  void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                            std::size_t chunk,
+                            const std::function<void(std::size_t)>& body);
+
+  /// Parallel reduction: each worker folds into a private accumulator
+  /// created by `identity()`; partials are combined with `combine` on
+  /// the calling thread in worker order (deterministic).
+  template <typename T, typename Identity, typename Fold, typename Combine>
+  T parallel_reduce(std::size_t begin, std::size_t end, Identity identity,
+                    Fold fold, Combine combine) {
+    std::vector<T> partial(threads_, identity());
+    run_on_all([&](std::size_t w) {
+      auto [lo, hi] = static_range(begin, end, w);
+      T acc = identity();
+      for (std::size_t i = lo; i < hi; ++i) fold(acc, i);
+      partial[w] = std::move(acc);
+    });
+    T result = identity();
+    for (auto& p : partial) combine(result, p);
+    return result;
+  }
+
+  /// The contiguous index range worker `w` owns under static
+  /// scheduling; exposed so NUMA-aware code can mirror the partition.
+  std::pair<std::size_t, std::size_t> static_range(std::size_t begin,
+                                                   std::size_t end,
+                                                   std::size_t worker) const;
+
+ private:
+  void worker_loop(std::size_t id);
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Returns a reasonable default worker count for the host.
+std::size_t default_thread_count();
+
+}  // namespace p8::common

@@ -1,0 +1,27 @@
+// Wall-clock timing for the native application benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace p8::common {
+
+/// Monotonic stopwatch.  Construction starts it; `seconds()` reads the
+/// elapsed time without stopping; `restart()` rewinds to zero.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace p8::common

@@ -1,0 +1,31 @@
+// Byte-size and rate units used throughout the library.
+//
+// The paper mixes decimal units for bandwidth (GB/s = 1e9 B/s, as is
+// conventional for link and DRAM rates) with binary units for
+// capacities (KB/MB caches are KiB/MiB).  We keep that convention:
+// `kib/mib/gib` are binary capacities, `gb_per_s` is decimal.
+#pragma once
+
+#include <cstdint>
+
+namespace p8::common {
+
+inline constexpr std::uint64_t kib(std::uint64_t n) { return n << 10; }
+inline constexpr std::uint64_t mib(std::uint64_t n) { return n << 20; }
+inline constexpr std::uint64_t gib(std::uint64_t n) { return n << 30; }
+
+/// Decimal gigabytes per second expressed in bytes per second.
+inline constexpr double gb_per_s(double n) { return n * 1e9; }
+
+/// Nanoseconds expressed in seconds.
+inline constexpr double ns(double n) { return n * 1e-9; }
+
+/// Converts a bytes-per-second figure to decimal GB/s for reporting.
+inline constexpr double to_gb_per_s(double bytes_per_second) {
+  return bytes_per_second / 1e9;
+}
+
+/// Converts seconds to nanoseconds for reporting.
+inline constexpr double to_ns(double seconds) { return seconds * 1e9; }
+
+}  // namespace p8::common

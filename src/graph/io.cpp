@@ -1,0 +1,110 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace p8::graph {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  P8_REQUIRE(static_cast<bool>(std::getline(in, line)),
+             "empty Matrix Market stream");
+
+  // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  P8_REQUIRE(lower(banner) == "%%matrixmarket", "missing MatrixMarket banner");
+  P8_REQUIRE(lower(object) == "matrix", "only 'matrix' objects supported");
+  P8_REQUIRE(lower(format) == "coordinate",
+             "only coordinate (sparse) format supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  P8_REQUIRE(field == "real" || field == "integer" || field == "pattern",
+             "unsupported field type: " + field);
+  P8_REQUIRE(symmetry == "general" || symmetry == "symmetric",
+             "unsupported symmetry: " + symmetry);
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments, read the size line.
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t entries = 0;
+  for (;;) {
+    P8_REQUIRE(static_cast<bool>(std::getline(in, line)),
+               "missing size line");
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    P8_REQUIRE(static_cast<bool>(sizes >> rows >> cols >> entries),
+               "malformed size line: " + line);
+    break;
+  }
+  P8_REQUIRE(rows <= 0xffffffffull && cols <= 0xffffffffull,
+             "matrix dimensions exceed 32-bit indices");
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(symmetric ? 2 * entries : entries);
+  for (std::uint64_t k = 0; k < entries; ++k) {
+    std::uint64_t r = 0;
+    std::uint64_t c = 0;
+    double v = 1.0;
+    for (;;) {
+      P8_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                 "unexpected end of file at entry " + std::to_string(k));
+      if (!line.empty() && line[0] != '%') break;
+    }
+    std::istringstream entry(line);
+    P8_REQUIRE(static_cast<bool>(entry >> r >> c), "malformed entry: " + line);
+    if (!pattern)
+      P8_REQUIRE(static_cast<bool>(entry >> v), "missing value: " + line);
+    P8_REQUIRE(r >= 1 && r <= rows && c >= 1 && c <= cols,
+               "entry out of bounds: " + line);
+    triplets.push_back({static_cast<std::uint32_t>(r - 1),
+                        static_cast<std::uint32_t>(c - 1), v});
+    if (symmetric && r != c)
+      triplets.push_back({static_cast<std::uint32_t>(c - 1),
+                          static_cast<std::uint32_t>(r - 1), v});
+  }
+  return CsrMatrix::from_triplets(static_cast<std::uint32_t>(rows),
+                                  static_cast<std::uint32_t>(cols),
+                                  std::move(triplets));
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  P8_REQUIRE(in.good(), "cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by p8repro\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  out.precision(17);
+  for (std::uint32_t r = 0; r < m.rows(); ++r) {
+    const auto cols = m.row_cols(r);
+    const auto vals = m.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      out << (r + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k] << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m) {
+  std::ofstream out(path);
+  P8_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  write_matrix_market(out, m);
+}
+
+}  // namespace p8::graph

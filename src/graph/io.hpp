@@ -1,0 +1,33 @@
+// Matrix Market I/O.
+//
+// The paper's Figure 11 uses matrices from the University of Florida
+// collection, which are distributed in Matrix Market (.mtx) format.
+// This module reads and writes the coordinate format so users can run
+// the SpMV benches on the real collection; the synthetic generators in
+// matrices.hpp remain the self-contained default.
+//
+// Supported: `matrix coordinate real|integer|pattern
+// general|symmetric`.  Pattern entries get value 1.0; symmetric files
+// are expanded to both triangles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace p8::graph {
+
+/// Parses a Matrix Market stream.  Throws std::invalid_argument on
+/// malformed input or unsupported qualifiers (complex, hermitian...).
+CsrMatrix read_matrix_market(std::istream& in);
+
+/// Convenience: open and parse a file.
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes `m` in coordinate-real-general format (1-based indices).
+void write_matrix_market(std::ostream& out, const CsrMatrix& m);
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m);
+
+}  // namespace p8::graph

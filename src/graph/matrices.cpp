@@ -1,0 +1,191 @@
+#include "graph/matrices.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace p8::graph {
+
+namespace {
+
+double value_for(common::Xoshiro256& rng) {
+  // Nonzero magnitudes in [0.5, 1.5): irrelevant to performance but
+  // keeps numerical tests meaningful.
+  return 0.5 + rng.uniform();
+}
+
+}  // namespace
+
+CsrMatrix dense_matrix(std::uint32_t n) {
+  std::vector<Triplet> t;
+  t.reserve(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t r = 0; r < n; ++r)
+    for (std::uint32_t c = 0; c < n; ++c)
+      t.push_back({r, c, 1.0 + 0.001 * static_cast<double>((r + c) % 7)});
+  return CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+CsrMatrix fem_banded(std::uint32_t nodes, std::uint32_t block,
+                     std::uint32_t neighbors, std::uint32_t bandwidth,
+                     std::uint64_t seed) {
+  P8_REQUIRE(block >= 1 && nodes >= 1, "bad FEM geometry");
+  common::Xoshiro256 rng(seed);
+  const std::uint32_t n = nodes * block;
+  std::vector<Triplet> t;
+  t.reserve(static_cast<std::size_t>(nodes) * (neighbors + 1) * block * block);
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    // Each node couples to itself and ~`neighbors` nodes within the
+    // band; couplings are dense block x block.
+    std::vector<std::uint32_t> coupled{node};
+    for (std::uint32_t k = 0; k < neighbors; ++k) {
+      const std::int64_t offset =
+          static_cast<std::int64_t>(rng.bounded(2 * bandwidth + 1)) -
+          static_cast<std::int64_t>(bandwidth);
+      const std::int64_t other = static_cast<std::int64_t>(node) + offset;
+      if (other < 0 || other >= static_cast<std::int64_t>(nodes)) continue;
+      coupled.push_back(static_cast<std::uint32_t>(other));
+    }
+    for (const std::uint32_t other : coupled)
+      for (std::uint32_t bi = 0; bi < block; ++bi)
+        for (std::uint32_t bj = 0; bj < block; ++bj)
+          t.push_back({node * block + bi, other * block + bj,
+                       value_for(rng)});
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+CsrMatrix lattice_3d(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz,
+                     int points) {
+  P8_REQUIRE(points == 7 || points == 27, "stencil must be 7 or 27 point");
+  const std::uint32_t n = nx * ny * nz;
+  auto id = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  std::vector<Triplet> t;
+  t.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(points));
+  for (std::uint32_t z = 0; z < nz; ++z)
+    for (std::uint32_t y = 0; y < ny; ++y)
+      for (std::uint32_t x = 0; x < nx; ++x) {
+        const std::uint32_t r = id(x, y, z);
+        for (int dz = -1; dz <= 1; ++dz)
+          for (int dy = -1; dy <= 1; ++dy)
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (points == 7 &&
+                  std::abs(dx) + std::abs(dy) + std::abs(dz) > 1)
+                continue;
+              // Periodic boundaries (QCD-style torus).
+              const std::uint32_t xx = (x + nx + dx) % nx;
+              const std::uint32_t yy = (y + ny + dy) % ny;
+              const std::uint32_t zz = (z + nz + dz) % nz;
+              t.push_back({r, id(xx, yy, zz),
+                           dx == 0 && dy == 0 && dz == 0 ? 6.0 : -1.0});
+            }
+      }
+  return CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+CsrMatrix random_uniform(std::uint32_t n, std::uint32_t nnz_per_row,
+                         std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<Triplet> t;
+  t.reserve(static_cast<std::size_t>(n) * nnz_per_row);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    t.push_back({r, r, 4.0});  // keep a diagonal
+    for (std::uint32_t k = 1; k < nnz_per_row; ++k)
+      t.push_back({r, static_cast<std::uint32_t>(rng.bounded(n)),
+                   value_for(rng)});
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+CsrMatrix power_law(std::uint32_t n, double avg_nnz_per_row, double alpha,
+                    std::uint64_t seed) {
+  P8_REQUIRE(alpha > 1.0, "Zipf exponent must exceed 1");
+  common::Xoshiro256 rng(seed);
+  // Row r gets length ~ C / (r+1)^(alpha-1), normalized to the target
+  // average; columns are drawn with the same skew so hubs connect to
+  // hubs (as in web/social graphs).
+  double norm = 0.0;
+  for (std::uint32_t r = 0; r < n; ++r)
+    norm += std::pow(static_cast<double>(r + 1), -(alpha - 1.0));
+  const double scale = avg_nnz_per_row * static_cast<double>(n) / norm;
+
+  std::vector<Triplet> t;
+  t.reserve(static_cast<std::size_t>(avg_nnz_per_row * n * 1.1));
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const double want =
+        scale * std::pow(static_cast<double>(r + 1), -(alpha - 1.0));
+    std::uint64_t len = static_cast<std::uint64_t>(want);
+    if (rng.uniform() < want - static_cast<double>(len)) ++len;
+    len = std::min<std::uint64_t>(std::max<std::uint64_t>(len, 1), n);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      // Skewed column draw: u^beta concentrates on low ids (the hubs).
+      const double u = rng.uniform();
+      const auto c = static_cast<std::uint32_t>(
+          std::min<double>(static_cast<double>(n) - 1,
+                           std::pow(u, 2.0) * static_cast<double>(n)));
+      t.push_back({r, c, value_for(rng)});
+    }
+  }
+  return CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+CsrMatrix lp_rectangular(std::uint32_t rows, std::uint32_t cols,
+                         std::uint32_t nnz_per_row, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<Triplet> t;
+  t.reserve(static_cast<std::size_t>(rows) * nnz_per_row);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    // A handful of long constraint rows, the rest short — the LP
+    // profile that stresses load balancing.
+    const std::uint32_t len =
+        (r % 64 == 0) ? nnz_per_row * 16 : nnz_per_row;
+    for (std::uint32_t k = 0; k < len; ++k)
+      t.push_back({r, static_cast<std::uint32_t>(rng.bounded(cols)),
+                   value_for(rng)});
+  }
+  return CsrMatrix::from_triplets(rows, cols, std::move(t));
+}
+
+std::vector<NamedMatrix> figure11_suite(double size_factor,
+                                        std::uint64_t seed) {
+  P8_REQUIRE(size_factor > 0.0, "size factor must be positive");
+  const auto s = [&](std::uint32_t base) {
+    return std::max<std::uint32_t>(
+        8, static_cast<std::uint32_t>(base * size_factor));
+  };
+  std::vector<NamedMatrix> suite;
+  suite.push_back({"Dense", "dense 1.4Kx1.4K as CSR (SpMV ceiling)",
+                   dense_matrix(s(1400))});
+  suite.push_back({"Protein", "clustered FEM blocks, ~60 nnz/row",
+                   fem_banded(s(6000), 3, 19, 160, seed + 1)});
+  suite.push_back({"FEM/Spheres", "banded 3-dof FEM, ~54 nnz/row",
+                   fem_banded(s(9000), 3, 17, 60, seed + 2)});
+  suite.push_back({"FEM/Cantilever", "banded 3-dof FEM, ~36 nnz/row",
+                   fem_banded(s(10000), 3, 11, 40, seed + 3)});
+  suite.push_back({"Wind Tunnel", "banded 3-dof FEM, ~48 nnz/row",
+                   fem_banded(s(12000), 3, 15, 30, seed + 4)});
+  suite.push_back({"FEM/Harbor", "blocky FEM, ~48 nnz/row",
+                   fem_banded(s(7000), 3, 15, 400, seed + 5)});
+  suite.push_back({"QCD", "4-D-like periodic lattice, 27-pt stencil",
+                   lattice_3d(24, 24, 48, 27)});
+  suite.push_back({"FEM/Ship", "banded 3-dof FEM, ~54 nnz/row",
+                   fem_banded(s(11000), 3, 17, 120, seed + 6)});
+  suite.push_back({"Economics", "random pattern, 6 nnz/row",
+                   random_uniform(s(60000), 6, seed + 7)});
+  suite.push_back({"Epidemiology", "7-pt lattice, 4-7 nnz/row",
+                   lattice_3d(60, 60, 60, 7)});
+  suite.push_back({"FEM/Accelerator", "irregular FEM, ~21 nnz/row",
+                   fem_banded(s(20000), 1, 20, 2000, seed + 8)});
+  suite.push_back({"Circuit", "power-law rows, ~6 nnz/row",
+                   power_law(s(50000), 6.0, 2.1, seed + 9)});
+  suite.push_back({"Webbase", "strong power law, ~3 nnz/row",
+                   power_law(s(120000), 3.1, 2.3, seed + 10)});
+  suite.push_back({"LP", "wide rectangular with dense rows",
+                   lp_rectangular(s(8000), s(80000), 25, seed + 11)});
+  return suite;
+}
+
+}  // namespace p8::graph

@@ -1,0 +1,62 @@
+// Synthetic stand-ins for the University of Florida sparse matrices of
+// Figure 11.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the paper benchmarks SpMV on a
+// selection of UF collection matrices "typically tested in SpMV works"
+// — the Williams et al. suite — plus a dense matrix as the achievable
+// peak.  The collection itself is not redistributable here, so each
+// matrix is replaced by a generator that reproduces the structural
+// features that drive SpMV performance: dimension-to-nonzero ratio,
+// row-length distribution, bandedness/block structure, and (for the
+// scale-free entries) a heavy tail.  Dimensions are scaled down to
+// host size; names keep the original suite's labels so Figure 11's
+// rows line up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace p8::graph {
+
+struct NamedMatrix {
+  std::string name;
+  std::string structure;  ///< one-line description of the generator
+  CsrMatrix matrix;
+};
+
+/// Dense n x n stored as sparse — the SpMV performance ceiling.
+CsrMatrix dense_matrix(std::uint32_t n);
+
+/// FEM-style banded matrix: nodes with `block`-sized dof blocks,
+/// coupled to ~`neighbors` random nodes within `bandwidth`.
+CsrMatrix fem_banded(std::uint32_t nodes, std::uint32_t block,
+                     std::uint32_t neighbors, std::uint32_t bandwidth,
+                     std::uint64_t seed);
+
+/// Regular 3-D lattice with an `points`-point stencil (7 or 27), the
+/// QCD/Epidemiology pattern.
+CsrMatrix lattice_3d(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz,
+                     int points);
+
+/// Uniformly random pattern with ~`nnz_per_row` entries per row.
+CsrMatrix random_uniform(std::uint32_t n, std::uint32_t nnz_per_row,
+                         std::uint64_t seed);
+
+/// Power-law rows (Zipf-distributed row lengths with exponent `alpha`),
+/// random columns — circuit/web-crawl structure.
+CsrMatrix power_law(std::uint32_t n, double avg_nnz_per_row, double alpha,
+                    std::uint64_t seed);
+
+/// Wide rectangular LP constraint matrix with a few dense-ish rows.
+CsrMatrix lp_rectangular(std::uint32_t rows, std::uint32_t cols,
+                         std::uint32_t nnz_per_row, std::uint64_t seed);
+
+/// The Figure 11 suite at a size factor (1.0 keeps the default
+/// host-scaled dimensions; larger grows everything linearly).
+std::vector<NamedMatrix> figure11_suite(double size_factor = 1.0,
+                                        std::uint64_t seed = 1234);
+
+}  // namespace p8::graph

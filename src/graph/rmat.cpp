@@ -1,0 +1,71 @@
+#include "graph/rmat.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace p8::graph {
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> rmat_edges(
+    const RmatOptions& options) {
+  P8_REQUIRE(options.scale >= 1 && options.scale <= 30, "scale out of range");
+  P8_REQUIRE(options.edge_factor >= 1, "edge factor must be positive");
+  const double d = 1.0 - options.a - options.b - options.c;
+  P8_REQUIRE(options.a > 0 && options.b >= 0 && options.c >= 0 && d >= 0,
+             "quadrant probabilities must form a distribution");
+
+  const std::uint64_t n = 1ull << options.scale;
+  const std::uint64_t m =
+      n * static_cast<std::uint64_t>(options.edge_factor);
+  common::Xoshiro256 rng(options.seed);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t row = 0;
+    std::uint64_t col = 0;
+    for (int level = 0; level < options.scale; ++level) {
+      const double r = rng.uniform();
+      row <<= 1;
+      col <<= 1;
+      if (r < options.a) {
+        // top-left
+      } else if (r < options.a + options.b) {
+        col |= 1;
+      } else if (r < options.a + options.b + options.c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    edges.emplace_back(static_cast<std::uint32_t>(row),
+                       static_cast<std::uint32_t>(col));
+  }
+
+  if (options.permute_vertices) {
+    std::vector<std::uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (std::uint64_t i = n - 1; i >= 1; --i) {
+      const std::uint64_t j = rng.bounded(i + 1);
+      std::swap(perm[i], perm[j]);
+    }
+    for (auto& [u, v] : edges) {
+      u = perm[u];
+      v = perm[v];
+    }
+  }
+  return edges;
+}
+
+Graph rmat_graph(const RmatOptions& options) {
+  const auto edges = rmat_edges(options);
+  return graph_from_edges(1u << options.scale, edges);
+}
+
+CsrMatrix rmat_adjacency(const RmatOptions& options) {
+  return rmat_graph(options).adjacency;
+}
+
+}  // namespace p8::graph

@@ -1,0 +1,43 @@
+// R-MAT graph generator (Chakrabarti, Zhan & Faloutsos), the synthetic
+// scale-free workload of the paper's Figures 10 and 12: "R-MAT graphs
+// of various sizes ... with an average degree of 16".
+//
+// Edges are drawn by recursively descending a 2^scale x 2^scale
+// adjacency matrix with quadrant probabilities (a, b, c, d); the
+// Graph500 defaults (0.57, 0.19, 0.19, 0.05) give the heavy-tailed
+// degree distribution that makes graph SpMV hard.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace p8::graph {
+
+struct RmatOptions {
+  int scale = 16;        ///< vertices = 2^scale
+  int edge_factor = 16;  ///< average degree (edges = edge_factor * vertices)
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  /// d is implied: 1 - a - b - c.
+  std::uint64_t seed = 1;
+  /// Permute vertex ids so the generator's recursive locality does not
+  /// leak into the CSR layout (standard Graph500 practice).
+  bool permute_vertices = true;
+};
+
+/// Raw directed edge list (may contain duplicates and self loops).
+std::vector<std::pair<std::uint32_t, std::uint32_t>> rmat_edges(
+    const RmatOptions& options);
+
+/// An undirected, deduplicated, self-loop-free R-MAT graph.
+Graph rmat_graph(const RmatOptions& options);
+
+/// The graph's adjacency as a square sparse matrix with value 1.0 per
+/// edge — the SpMV input of Figure 12.
+CsrMatrix rmat_adjacency(const RmatOptions& options);
+
+}  // namespace p8::graph

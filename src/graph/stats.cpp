@@ -1,0 +1,51 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p8::graph {
+
+DegreeStats degree_stats(const CsrMatrix& m) {
+  DegreeStats s;
+  const std::uint32_t n = m.rows();
+  if (n == 0) return s;
+  std::vector<std::uint64_t> deg(n);
+  for (std::uint32_t r = 0; r < n; ++r) deg[r] = m.row_nnz(r);
+  std::sort(deg.begin(), deg.end());
+
+  s.min = deg.front();
+  s.max = deg.back();
+  const double total = static_cast<double>(m.nnz());
+  s.mean = total / static_cast<double>(n);
+
+  // Gini via the sorted-sum formula.
+  if (total > 0) {
+    double weighted = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i)
+      weighted += static_cast<double>(i + 1) * static_cast<double>(deg[i]);
+    s.gini = (2.0 * weighted) / (static_cast<double>(n) * total) -
+             (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+  }
+
+  const std::uint32_t top = std::max<std::uint32_t>(1, n / 100);
+  double top_sum = 0.0;
+  for (std::uint32_t i = n - top; i < n; ++i)
+    top_sum += static_cast<double>(deg[i]);
+  if (total > 0) s.top1_percent_share = top_sum / total;
+  return s;
+}
+
+double normalized_bandwidth(const CsrMatrix& m) {
+  if (m.nnz() == 0 || m.rows() == 0) return 0.0;
+  double sum = 0.0;
+  const auto row_ptr = m.row_ptr();
+  const auto col_idx = m.col_idx();
+  for (std::uint32_t r = 0; r < m.rows(); ++r)
+    for (std::uint64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+      sum += std::abs(static_cast<double>(col_idx[k]) -
+                      static_cast<double>(r));
+  const double dim = static_cast<double>(std::max(m.rows(), m.cols()));
+  return sum / static_cast<double>(m.nnz()) / dim;
+}
+
+}  // namespace p8::graph

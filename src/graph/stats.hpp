@@ -1,0 +1,29 @@
+// Structural statistics of sparse matrices and graphs, used by tests
+// (is the R-MAT tail actually heavy?) and by the bench reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace p8::graph {
+
+struct DegreeStats {
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  /// Gini coefficient of the row-length distribution: 0 = uniform,
+  /// -> 1 = a few rows hold everything (scale-free).
+  double gini = 0.0;
+  /// Fraction of nonzeros in the heaviest 1% of rows.
+  double top1_percent_share = 0.0;
+};
+
+DegreeStats degree_stats(const CsrMatrix& m);
+
+/// Average distance of a nonzero from the diagonal, normalized by the
+/// dimension: ~0 for banded matrices, ~1/3 for uniformly random ones.
+double normalized_bandwidth(const CsrMatrix& m);
+
+}  // namespace p8::graph

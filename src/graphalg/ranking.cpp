@@ -1,0 +1,137 @@
+#include "graphalg/ranking.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "spmv/csr_spmv.hpp"
+
+namespace p8::graphalg {
+
+TransitionOperator::TransitionOperator(const graph::CsrMatrix& adjacency) {
+  P8_REQUIRE(adjacency.rows() == adjacency.cols(),
+             "adjacency must be square");
+  const std::uint32_t n = adjacency.rows();
+
+  // Out-degrees are row sums of the adjacency.
+  std::vector<double> outdeg(n, 0.0);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (const double v : adjacency.row_values(r)) sum += v;
+    outdeg[r] = sum;
+    if (sum == 0.0) dangling_.push_back(r);
+  }
+
+  // T = (D^-1 A)^T built directly in triplet form.
+  std::vector<graph::Triplet> triplets;
+  triplets.reserve(adjacency.nnz());
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const auto cols = adjacency.row_cols(r);
+    const auto vals = adjacency.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      triplets.push_back({cols[k], r, vals[k] / outdeg[r]});
+  }
+  matrix_ = graph::CsrMatrix::from_triplets(n, n, std::move(triplets));
+}
+
+void TransitionOperator::apply(std::span<const double> x,
+                               std::span<double> y,
+                               common::ThreadPool& pool) const {
+  spmv::spmv(matrix_, x, y, pool);
+  if (dangling_.empty()) return;
+  double mass = 0.0;
+  for (const std::uint32_t v : dangling_) mass += x[v];
+  const double share = mass / static_cast<double>(vertices());
+  for (std::uint32_t i = 0; i < vertices(); ++i) y[i] += share;
+}
+
+namespace {
+
+double l1_diff(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+/// Shared fixed-point loop: scores = restart + damping * T * scores.
+RankResult damped_iteration(const TransitionOperator& op,
+                            std::span<const double> restart,
+                            common::ThreadPool& pool,
+                            const PowerIterOptions& options) {
+  P8_REQUIRE(options.damping > 0.0 && options.damping < 1.0,
+             "damping must be in (0, 1)");
+  const std::uint32_t n = op.vertices();
+  RankResult result;
+  result.scores.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    op.apply(result.scores, next, pool);
+    for (std::uint32_t i = 0; i < n; ++i)
+      next[i] = restart[i] + options.damping * next[i];
+    const double delta = l1_diff(result.scores, next);
+    result.scores.swap(next);
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+RankResult pagerank(const TransitionOperator& op, common::ThreadPool& pool,
+                    const PowerIterOptions& options) {
+  const std::uint32_t n = op.vertices();
+  std::vector<double> restart(
+      n, (1.0 - options.damping) / static_cast<double>(n));
+  return damped_iteration(op, restart, pool, options);
+}
+
+RankResult random_walk_with_restart(const TransitionOperator& op,
+                                    std::uint32_t seed,
+                                    common::ThreadPool& pool,
+                                    const PowerIterOptions& options) {
+  P8_REQUIRE(seed < op.vertices(), "seed vertex out of range");
+  std::vector<double> restart(op.vertices(), 0.0);
+  restart[seed] = 1.0 - options.damping;
+  return damped_iteration(op, restart, pool, options);
+}
+
+HitsResult hits(const graph::CsrMatrix& adjacency, common::ThreadPool& pool,
+                const PowerIterOptions& options) {
+  P8_REQUIRE(adjacency.rows() == adjacency.cols(),
+             "adjacency must be square");
+  const std::uint32_t n = adjacency.rows();
+  const graph::CsrMatrix at = adjacency.transposed();
+
+  HitsResult result;
+  result.hubs.assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  result.authorities.assign(n, 0.0);
+  std::vector<double> prev_auth(n, 0.0);
+
+  auto normalize = [](std::vector<double>& v) {
+    double norm = 0.0;
+    for (const double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 0)
+      for (double& x : v) x /= norm;
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // authority = A^T hub;  hub = A authority.
+    spmv::spmv(at, result.hubs, result.authorities, pool);
+    normalize(result.authorities);
+    spmv::spmv(adjacency, result.authorities, result.hubs, pool);
+    normalize(result.hubs);
+    result.iterations = iter + 1;
+    if (l1_diff(prev_auth, result.authorities) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_auth = result.authorities;
+  }
+  return result;
+}
+
+}  // namespace p8::graphalg

@@ -1,0 +1,74 @@
+// Graph ranking algorithms built on SpMV.
+//
+// Paper §V-B: "SpMV exists as the main kernel in many graph
+// algorithms, such as anomaly detection, PageRank, HITS and random
+// walk with restart."  This module provides those consumers on top of
+// the SpMV library: each iteration is one (or two) multiplications by
+// the normalized adjacency operator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/threading.hpp"
+#include "graph/csr.hpp"
+
+namespace p8::graphalg {
+
+/// The column-stochastic transition operator of a directed graph,
+/// stored so that scores(t+1) = T * scores(t) is a CSR SpMV:
+/// T[i][j] = 1/outdeg(j) for every edge j -> i.  Dangling columns
+/// (outdeg 0) are tracked separately and their mass redistributed.
+class TransitionOperator {
+ public:
+  explicit TransitionOperator(const graph::CsrMatrix& adjacency);
+
+  const graph::CsrMatrix& matrix() const { return matrix_; }
+  const std::vector<std::uint32_t>& dangling() const { return dangling_; }
+  std::uint32_t vertices() const { return matrix_.rows(); }
+
+  /// y = T x + (dangling mass of x) / n, parallelized.
+  void apply(std::span<const double> x, std::span<double> y,
+             common::ThreadPool& pool) const;
+
+ private:
+  graph::CsrMatrix matrix_;
+  std::vector<std::uint32_t> dangling_;
+};
+
+struct PowerIterOptions {
+  double damping = 0.85;      ///< PageRank d / RWR restart (1-c)
+  double tolerance = 1e-10;   ///< L1 change per iteration
+  int max_iterations = 200;
+};
+
+struct RankResult {
+  std::vector<double> scores;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// PageRank: scores = (1-d)/n + d * T * scores.
+RankResult pagerank(const TransitionOperator& op, common::ThreadPool& pool,
+                    const PowerIterOptions& options = {});
+
+/// Random walk with restart from `seed`:
+/// scores = (1-c) e_seed + c * T * scores, with c = options.damping.
+RankResult random_walk_with_restart(const TransitionOperator& op,
+                                    std::uint32_t seed,
+                                    common::ThreadPool& pool,
+                                    const PowerIterOptions& options = {});
+
+struct HitsResult {
+  std::vector<double> hubs;
+  std::vector<double> authorities;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// HITS: authority = A^T hub, hub = A authority, L2-normalized each
+/// round.
+HitsResult hits(const graph::CsrMatrix& adjacency, common::ThreadPool& pool,
+                const PowerIterOptions& options = {});
+
+}  // namespace p8::graphalg

@@ -1,0 +1,253 @@
+#include "hf/basis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace p8::hf {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// STO-3G expansion of a 1s Slater orbital with zeta = 1 (Hehre,
+/// Stewart & Pople); exponents scale as zeta^2 for other elements.
+constexpr double kSto3gAlpha[3] = {2.227660584, 0.405771156, 0.109818};
+constexpr double kSto3gCoef[3] = {0.154328967, 0.535328142, 0.444634542};
+
+/// Effective 1s Slater exponents (Clementi-Raimondi style).
+double zeta_1s(int z) {
+  switch (z) {
+    case 1:
+      return 1.24;
+    case 2:
+      return 1.69;
+    default:
+      return static_cast<double>(z) - 0.3;
+  }
+}
+
+/// Valence s exponent for second-row elements (Slater rules, n=2).
+double zeta_2s(int z) {
+  const double screened = static_cast<double>(z) - 2.0 * 0.85 -
+                          (static_cast<double>(z) - 3.0) * 0.35;
+  return std::max(screened / 2.0, 0.6);
+}
+
+/// Normalization of a primitive s Gaussian.
+double s_norm(double alpha) {
+  return std::pow(2.0 * alpha / kPi, 0.75);
+}
+
+BasisFunction scaled_sto3g(const Vec3& center, int atom, double zeta) {
+  BasisFunction f;
+  f.center = center;
+  f.atom = atom;
+  const double z2 = zeta * zeta;
+  for (int p = 0; p < 3; ++p) {
+    const double alpha = kSto3gAlpha[p] * z2;
+    f.primitives.push_back({alpha, kSto3gCoef[p] * s_norm(alpha)});
+  }
+  return f;
+}
+
+BasisFunction diffuse_s(const Vec3& center, int atom, double zeta) {
+  BasisFunction f;
+  f.center = center;
+  f.atom = atom;
+  const double alpha = 0.36 * zeta * zeta;
+  f.primitives.push_back({alpha, s_norm(alpha)});
+  return f;
+}
+
+}  // namespace
+
+double Molecule::nuclear_repulsion() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < atoms.size(); ++i)
+    for (std::size_t j = i + 1; j < atoms.size(); ++j)
+      e += static_cast<double>(atoms[i].atomic_number) *
+           static_cast<double>(atoms[j].atomic_number) /
+           std::sqrt(distance_sq(atoms[i].position, atoms[j].position));
+  return e;
+}
+
+BasisSet BasisSet::build(const Molecule& molecule,
+                         const BasisOptions& options) {
+  BasisSet basis;
+  for (std::size_t a = 0; a < molecule.atoms.size(); ++a) {
+    const Atom& atom = molecule.atoms[a];
+    const int z = atom.atomic_number;
+    P8_REQUIRE(z >= 1 && z <= 10, "elements H..Ne supported");
+    // An s-only basis must still hold the atom's electrons: ceil(z/2)
+    // shells per atom, with exponents laddered geometrically from the
+    // 1s core down to the valence scale (so the shells stay linearly
+    // independent).
+    const int shells = std::max(1, (z + 1) / 2);
+    const double z_core = zeta_1s(z);
+    const double z_valence = shells > 1 ? zeta_2s(z) : z_core;
+    for (int k = 0; k < shells; ++k) {
+      const double f = shells > 1
+                           ? static_cast<double>(k) / (shells - 1)
+                           : 0.0;
+      const double zeta = z_core * std::pow(z_valence / z_core, f);
+      basis.functions_.push_back(
+          scaled_sto3g(atom.position, static_cast<int>(a), zeta));
+    }
+    if (options.double_zeta)
+      basis.functions_.push_back(diffuse_s(
+          atom.position, static_cast<int>(a), z >= 3 ? zeta_2s(z) : 1.0));
+  }
+  return basis;
+}
+
+// ---- geometries ------------------------------------------------------------
+//
+// Bond lengths in bohr: C-C 2.91, C-H 2.06, aromatic C-C 2.68,
+// generic heavy-heavy 2.8.
+
+Molecule h2(double bond_bohr) {
+  Molecule m;
+  m.name = "H2";
+  m.atoms.push_back({1, {0.0, 0.0, 0.0}});
+  m.atoms.push_back({1, {0.0, 0.0, bond_bohr}});
+  return m;
+}
+
+Molecule alkane(int carbons) {
+  P8_REQUIRE(carbons >= 1, "need at least one carbon");
+  Molecule m;
+  m.name = "alkane-" + std::to_string(carbons);
+  const double cc = 2.91;
+  const double ch = 2.06;
+  const double zig = 0.85;
+  for (int i = 0; i < carbons; ++i) {
+    const Vec3 c{cc * 0.82 * i, (i % 2) ? zig : 0.0, 0.0};
+    m.atoms.push_back({6, c});
+    // Two hydrogens per carbon, above and below the chain plane.
+    m.atoms.push_back({1, {c.x, c.y + 0.6, c.z + ch * 0.9}});
+    m.atoms.push_back({1, {c.x, c.y + 0.6, c.z - ch * 0.9}});
+  }
+  // Chain terminators.
+  m.atoms.push_back({1, {-ch * 0.9, 0.3, 0.0}});
+  m.atoms.push_back(
+      {1, {cc * 0.82 * carbons - cc * 0.82 + ch * 0.9 + 0.4,
+           ((carbons - 1) % 2) ? zig : 0.0, 0.0}});
+  return m;
+}
+
+Molecule graphene(int rings) {
+  P8_REQUIRE(rings >= 1, "need at least one ring");
+  Molecule m;
+  m.name = "graphene-" + std::to_string(rings);
+  // A strip of fused hexagons in the xy plane.  Edge-sharing rings
+  // have centers sqrt(3)*a apart, making the two shared vertices of
+  // adjacent rings coincide exactly (deduplicated below).
+  const double a = 2.68;  // aromatic C-C
+  int emitted = 0;
+  for (int r = 0; r < rings && emitted < 6 * rings; ++r) {
+    const double ox = std::sqrt(3.0) * a * r;
+    for (int k = 0; k < 6; ++k) {
+      const double ang = kPi / 3.0 * k + kPi / 6.0;
+      const Vec3 p{ox + a * std::cos(ang), a * std::sin(ang), 0.0};
+      // Shared edge atoms of fused rings coincide; skip duplicates.
+      bool duplicate = false;
+      for (const auto& existing : m.atoms)
+        if (distance_sq(existing.position, p) < 0.1) duplicate = true;
+      if (!duplicate) {
+        m.atoms.push_back({6, p});
+        ++emitted;
+      }
+    }
+  }
+  // Terminate edge carbons (fewer than three ring neighbours) with
+  // hydrogen, as in a real flake.  Without the terminations a pure-C
+  // sheet has exactly as many occupied orbitals as s functions and the
+  // SCF is degenerate.
+  Vec3 centroid{0, 0, 0};
+  for (const auto& atom : m.atoms) {
+    centroid.x += atom.position.x;
+    centroid.y += atom.position.y;
+  }
+  centroid.x /= static_cast<double>(m.atoms.size());
+  centroid.y /= static_cast<double>(m.atoms.size());
+  const std::size_t carbons = m.atoms.size();
+  for (std::size_t i = 0; i < carbons; ++i) {
+    int neighbors = 0;
+    for (std::size_t j = 0; j < carbons; ++j)
+      if (j != i &&
+          distance_sq(m.atoms[i].position, m.atoms[j].position) <
+              (1.2 * a) * (1.2 * a))
+        ++neighbors;
+    if (neighbors >= 3) continue;
+    Vec3 dir{m.atoms[i].position.x - centroid.x,
+             m.atoms[i].position.y - centroid.y, 0.0};
+    const double norm = std::sqrt(dir.x * dir.x + dir.y * dir.y);
+    if (norm < 1e-9) dir = {0.0, 1.0, 0.0};
+    else {
+      dir.x /= norm;
+      dir.y /= norm;
+    }
+    m.atoms.push_back({1,
+                       {m.atoms[i].position.x + 2.06 * dir.x,
+                        m.atoms[i].position.y + 2.06 * dir.y, 0.0}});
+  }
+  if (m.electrons() % 2 != 0)
+    m.atoms.push_back({1, {centroid.x, centroid.y, 2.1}});
+  return m;
+}
+
+Molecule dna_fragment(int units) {
+  P8_REQUIRE(units >= 1, "need at least one unit");
+  Molecule m;
+  m.name = std::to_string(units) + "-mer";
+  // A C/N/O helix: 6 heavy atoms per unit on a spiral.
+  const int kPattern[6] = {6, 7, 6, 8, 6, 7};
+  const double rise = 1.9;
+  const double radius = 5.5;
+  int idx = 0;
+  for (int u = 0; u < units; ++u) {
+    for (int k = 0; k < 6; ++k, ++idx) {
+      const double t = 0.55 * idx;
+      m.atoms.push_back({kPattern[k],
+                         {radius * std::cos(t), radius * std::sin(t),
+                          rise * 0.45 * idx}});
+    }
+  }
+  if (m.electrons() % 2 != 0)
+    m.atoms.push_back({1, {0.0, 0.0, -2.0}});
+  return m;
+}
+
+Molecule protein_cluster(int heavy_atoms, std::uint64_t seed) {
+  P8_REQUIRE(heavy_atoms >= 1, "need at least one atom");
+  Molecule m;
+  m.name = "1hsg-" + std::to_string(heavy_atoms);
+  common::Xoshiro256 rng(seed);
+  const int kPattern[5] = {6, 6, 7, 6, 8};  // protein-ish C/N/O mix
+  const double box = std::cbrt(static_cast<double>(heavy_atoms)) * 3.1;
+  int placed = 0;
+  int attempts = 0;
+  while (placed < heavy_atoms && attempts < heavy_atoms * 400) {
+    ++attempts;
+    const Vec3 p{box * rng.uniform(), box * rng.uniform(),
+                 box * rng.uniform()};
+    bool ok = true;
+    for (const auto& existing : m.atoms)
+      if (distance_sq(existing.position, p) < 2.4 * 2.4) ok = false;
+    if (!ok) continue;
+    m.atoms.push_back({kPattern[placed % 5], p});
+    ++placed;
+  }
+  P8_REQUIRE(placed == heavy_atoms, "packing failed; lower the density");
+  // A few hydrogens for realism and to make the electron count even.
+  m.atoms.push_back({1, {-1.5, -1.5, -1.5}});
+  if (m.electrons() % 2 != 0)
+    m.atoms.push_back({1, {box + 1.5, box + 1.5, box + 1.5}});
+  return m;
+}
+
+}  // namespace p8::hf

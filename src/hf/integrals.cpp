@@ -1,0 +1,167 @@
+#include "hf/integrals.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace p8::hf {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+constexpr double kTwoPi52 = 34.986836655249725;  // 2 * pi^(5/2)
+}  // namespace
+
+double boys_f0(double x) {
+  if (x < 1e-8) return 1.0 - x / 3.0;  // series: 1 - x/3 + x^2/10 - ...
+  const double sx = std::sqrt(x);
+  return 0.5 * std::sqrt(kPi / x) * std::erf(sx);
+}
+
+double overlap(const BasisFunction& a, const BasisFunction& b) {
+  const double r2 = distance_sq(a.center, b.center);
+  double s = 0.0;
+  for (const auto& pa : a.primitives) {
+    for (const auto& pb : b.primitives) {
+      const double p = pa.alpha + pb.alpha;
+      const double pre = std::pow(kPi / p, 1.5) *
+                         std::exp(-pa.alpha * pb.alpha / p * r2);
+      s += pa.coefficient * pb.coefficient * pre;
+    }
+  }
+  return s;
+}
+
+double kinetic(const BasisFunction& a, const BasisFunction& b) {
+  const double r2 = distance_sq(a.center, b.center);
+  double t = 0.0;
+  for (const auto& pa : a.primitives) {
+    for (const auto& pb : b.primitives) {
+      const double p = pa.alpha + pb.alpha;
+      const double mu = pa.alpha * pb.alpha / p;
+      const double s = std::pow(kPi / p, 1.5) * std::exp(-mu * r2);
+      t += pa.coefficient * pb.coefficient * mu * (3.0 - 2.0 * mu * r2) * s;
+    }
+  }
+  return t;
+}
+
+double nuclear(const BasisFunction& a, const BasisFunction& b, const Vec3& c,
+               int z) {
+  const double r2 = distance_sq(a.center, b.center);
+  double v = 0.0;
+  for (const auto& pa : a.primitives) {
+    for (const auto& pb : b.primitives) {
+      const double p = pa.alpha + pb.alpha;
+      const Vec3 pc{(pa.alpha * a.center.x + pb.alpha * b.center.x) / p,
+                    (pa.alpha * a.center.y + pb.alpha * b.center.y) / p,
+                    (pa.alpha * a.center.z + pb.alpha * b.center.z) / p};
+      const double pre = -2.0 * kPi / p * static_cast<double>(z) *
+                         std::exp(-pa.alpha * pb.alpha / p * r2);
+      v += pa.coefficient * pb.coefficient * pre *
+           boys_f0(p * distance_sq(pc, c));
+    }
+  }
+  return v;
+}
+
+double eri(const BasisFunction& a, const BasisFunction& b,
+           const BasisFunction& c, const BasisFunction& d) {
+  const double rab2 = distance_sq(a.center, b.center);
+  const double rcd2 = distance_sq(c.center, d.center);
+  double g = 0.0;
+  for (const auto& pa : a.primitives) {
+    for (const auto& pb : b.primitives) {
+      const double p = pa.alpha + pb.alpha;
+      const double kab = std::exp(-pa.alpha * pb.alpha / p * rab2);
+      const Vec3 pp{(pa.alpha * a.center.x + pb.alpha * b.center.x) / p,
+                    (pa.alpha * a.center.y + pb.alpha * b.center.y) / p,
+                    (pa.alpha * a.center.z + pb.alpha * b.center.z) / p};
+      const double cab = pa.coefficient * pb.coefficient * kab;
+      for (const auto& pc : c.primitives) {
+        for (const auto& pd : d.primitives) {
+          const double q = pc.alpha + pd.alpha;
+          const double kcd = std::exp(-pc.alpha * pd.alpha / q * rcd2);
+          const Vec3 qq{(pc.alpha * c.center.x + pd.alpha * d.center.x) / q,
+                        (pc.alpha * c.center.y + pd.alpha * d.center.y) / q,
+                        (pc.alpha * c.center.z + pd.alpha * d.center.z) / q};
+          const double pre =
+              kTwoPi52 / (p * q * std::sqrt(p + q)) * cab *
+              pc.coefficient * pd.coefficient * kcd;
+          g += pre * boys_f0(p * q / (p + q) * distance_sq(pp, qq));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+ShellPair make_shell_pair(const BasisFunction& a, const BasisFunction& b) {
+  ShellPair pair;
+  pair.primitives.reserve(a.primitives.size() * b.primitives.size());
+  const double r2 = distance_sq(a.center, b.center);
+  for (const auto& pa : a.primitives) {
+    for (const auto& pb : b.primitives) {
+      PairPrimitive pp;
+      pp.p = pa.alpha + pb.alpha;
+      pp.inv_p = 1.0 / pp.p;
+      pp.center = {(pa.alpha * a.center.x + pb.alpha * b.center.x) * pp.inv_p,
+                   (pa.alpha * a.center.y + pb.alpha * b.center.y) * pp.inv_p,
+                   (pa.alpha * a.center.z + pb.alpha * b.center.z) * pp.inv_p};
+      pp.coeff = pa.coefficient * pb.coefficient *
+                 std::exp(-pa.alpha * pb.alpha * pp.inv_p * r2);
+      pair.primitives.push_back(pp);
+    }
+  }
+  return pair;
+}
+
+double eri(const ShellPair& ab, const ShellPair& cd) {
+  double g = 0.0;
+  for (const auto& pp : ab.primitives) {
+    for (const auto& qq : cd.primitives) {
+      const double pq = pp.p * qq.p;
+      const double sum = pp.p + qq.p;
+      const double pre =
+          kTwoPi52 / (pq * std::sqrt(sum)) * pp.coeff * qq.coeff;
+      g += pre * boys_f0(pq / sum * distance_sq(pp.center, qq.center));
+    }
+  }
+  return g;
+}
+
+la::Matrix overlap_matrix(const BasisSet& basis) {
+  const std::size_t n = basis.size();
+  la::Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j)
+      s(i, j) = s(j, i) = overlap(basis[i], basis[j]);
+  return s;
+}
+
+la::Matrix kinetic_matrix(const BasisSet& basis) {
+  const std::size_t n = basis.size();
+  la::Matrix t(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j)
+      t(i, j) = t(j, i) = kinetic(basis[i], basis[j]);
+  return t;
+}
+
+la::Matrix nuclear_matrix(const BasisSet& basis, const Molecule& molecule) {
+  const std::size_t n = basis.size();
+  la::Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      double sum = 0.0;
+      for (const auto& atom : molecule.atoms)
+        sum += nuclear(basis[i], basis[j], atom.position,
+                       atom.atomic_number);
+      v(i, j) = v(j, i) = sum;
+    }
+  return v;
+}
+
+la::Matrix core_hamiltonian(const BasisSet& basis, const Molecule& molecule) {
+  return add(kinetic_matrix(basis), nuclear_matrix(basis, molecule));
+}
+
+}  // namespace p8::hf

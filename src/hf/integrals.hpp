@@ -1,0 +1,61 @@
+// Molecular integrals over contracted s-type Gaussians: overlap,
+// kinetic, nuclear attraction, and the two-electron repulsion
+// integrals (ERIs) that dominate Hartree-Fock.
+//
+// All formulas are the standard closed forms (Szabo & Ostlund,
+// appendix A); only the m=0 Boys function is needed for s functions.
+#pragma once
+
+#include "hf/basis.hpp"
+#include "la/matrix.hpp"
+
+namespace p8::hf {
+
+/// Boys function F0(x) = (1/2) sqrt(pi/x) erf(sqrt(x)), with the
+/// stable series branch near zero.
+double boys_f0(double x);
+
+/// <i|j> overlap of two contracted functions.
+double overlap(const BasisFunction& a, const BasisFunction& b);
+
+/// <i| -1/2 del^2 |j> kinetic energy.
+double kinetic(const BasisFunction& a, const BasisFunction& b);
+
+/// <i| -Z/|r-C| |j> attraction to a nucleus of charge z at `c`.
+double nuclear(const BasisFunction& a, const BasisFunction& b, const Vec3& c,
+               int z);
+
+/// Two-electron integral (ab|cd) in chemists' notation.  Reference
+/// implementation working directly on the contracted functions.
+double eri(const BasisFunction& a, const BasisFunction& b,
+           const BasisFunction& c, const BasisFunction& d);
+
+/// Precomputed shell-pair data: the Gaussian product centre, combined
+/// exponent and screened coefficient of every primitive pair.  Real
+/// integral engines build these once per (i, j) pair; the quartet
+/// loop then only pays the Boys-function evaluation.
+struct PairPrimitive {
+  double p = 0.0;      ///< alpha_i + alpha_j
+  double inv_p = 0.0;  ///< 1 / p
+  Vec3 center;         ///< Gaussian product centre P
+  double coeff = 0.0;  ///< c_i c_j exp(-mu |AB|^2)
+};
+
+struct ShellPair {
+  std::vector<PairPrimitive> primitives;
+};
+
+ShellPair make_shell_pair(const BasisFunction& a, const BasisFunction& b);
+
+/// Fast (ab|cd) over precomputed pairs; bitwise-independent of, but
+/// numerically equal to, the reference `eri`.
+double eri(const ShellPair& ab, const ShellPair& cd);
+
+/// Whole-matrix builders.
+la::Matrix overlap_matrix(const BasisSet& basis);
+la::Matrix kinetic_matrix(const BasisSet& basis);
+la::Matrix nuclear_matrix(const BasisSet& basis, const Molecule& molecule);
+/// H_core = T + V.
+la::Matrix core_hamiltonian(const BasisSet& basis, const Molecule& molecule);
+
+}  // namespace p8::hf

@@ -1,0 +1,146 @@
+// Restricted Hartree-Fock SCF driver (paper §V-C).
+//
+// Two ERI strategies, exactly the paper's comparison:
+//
+//  * HF-Comp (kRecompute): every Fock build re-evaluates the
+//    non-screened ERIs — the conventional NWChem-style approach that
+//    trades memory for redundant compute.
+//  * HF-Mem (kPrecompute): the ERIs are evaluated once, stored as
+//    packed (i,j,k,l,value) records, and every Fock build *streams*
+//    the list — memory-bound, which is why it shines on a machine
+//    with the E870's balance (§IV).
+//
+// Both paths share Schwarz screening ((ij|kl) <= Q_ij Q_kl with
+// Q_ij = sqrt((ij|ij))), 8-fold permutational symmetry, and the same
+// density stage (Löwdin orthogonalization + Jacobi diagonalization).
+// Density convention: P = 2 C_occ C_occ^T, tr(P S) = N_electrons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/threading.hpp"
+#include "hf/basis.hpp"
+#include "hf/integrals.hpp"
+#include "la/eigen.hpp"
+#include "la/purification.hpp"
+#include "la/solve.hpp"
+
+namespace p8::hf {
+
+enum class EriMode {
+  kRecompute,   ///< HF-Comp
+  kPrecompute,  ///< HF-Mem
+};
+
+/// How the density stage computes the spectral projector of F
+/// (paper §V-C): explicit diagonalization (Jacobi) or the
+/// diagonalization-free Palser-Manolopoulos purification.
+enum class DensityMethod {
+  kDiagonalize,
+  kPurify,
+};
+
+struct ScfOptions {
+  EriMode mode = EriMode::kPrecompute;
+  DensityMethod density = DensityMethod::kDiagonalize;
+  double screen_tolerance = 1e-10;
+  /// Converged when rms(P_new - P_old) drops below this.
+  double convergence = 1e-7;
+  int max_iterations = 60;
+  /// Fraction of the previous density mixed into the update (ignored
+  /// when DIIS is active).
+  double damping = 0.25;
+  /// Pulay DIIS convergence acceleration.
+  bool diis = false;
+  int diis_depth = 6;
+};
+
+struct ScfTimings {
+  double precompute_s = 0.0;     ///< ERI tensor build (HF-Mem only, once)
+  double fock_s = 0.0;           ///< mean per-iteration Fock build
+  double density_s = 0.0;        ///< mean per-iteration density stage
+  double total_s = 0.0;
+};
+
+/// One stored ERI: 8-fold-unique indices plus the value (16 bytes).
+struct PackedEri {
+  std::uint16_t i = 0;
+  std::uint16_t j = 0;
+  std::uint16_t k = 0;
+  std::uint16_t l = 0;
+  double value = 0.0;
+};
+static_assert(sizeof(PackedEri) == 16, "ERI record should pack to 16 B");
+
+struct ScfResult {
+  double energy = 0.0;             ///< total (electronic + nuclear)
+  double electronic_energy = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  std::uint64_t eri_count = 0;     ///< unique non-screened quartets
+  std::uint64_t eri_bytes = 0;     ///< HF-Mem storage for them
+  ScfTimings timings;
+  la::Matrix density;
+};
+
+class ScfSolver {
+ public:
+  ScfSolver(Molecule molecule, common::ThreadPool& pool,
+            const BasisOptions& basis_options = {});
+
+  const Molecule& molecule() const { return molecule_; }
+  const BasisSet& basis() const { return basis_; }
+  int occupied_orbitals() const { return molecule_.electrons() / 2; }
+
+  /// Unique quartets surviving Schwarz screening at `tolerance` —
+  /// the "Non-screened ERIs" column of Table V.
+  std::uint64_t count_nonscreened(double tolerance) const;
+
+  /// Runs the SCF to convergence.
+  ScfResult run(const ScfOptions& options = {});
+
+  // ---- exposed for testing ------------------------------------------------
+
+  /// O(n^4) brute-force Fock build (no symmetry, no screening).
+  la::Matrix fock_reference(const la::Matrix& density) const;
+  /// Production Fock build: 8-fold symmetry + screening, recompute path.
+  la::Matrix fock(const la::Matrix& density, double screen_tolerance) const;
+  /// Streams a precomputed ERI list into a Fock matrix.
+  la::Matrix fock_from_list(const la::Matrix& density,
+                            const std::vector<PackedEri>& list) const;
+  /// Materializes the non-screened ERI list (the HF-Mem precompute).
+  std::vector<PackedEri> precompute_eris(double screen_tolerance) const;
+  /// New density from a Fock matrix (Löwdin + Jacobi + aufbau), or via
+  /// trace-conserving purification when requested.
+  la::Matrix density_from_fock(
+      const la::Matrix& fock_matrix,
+      DensityMethod method = DensityMethod::kDiagonalize) const;
+
+  /// DIIS error vector e = X^T (F P S - S P F) X; its norm vanishes at
+  /// self-consistency.
+  la::Matrix diis_error(const la::Matrix& fock_matrix,
+                        const la::Matrix& density) const;
+
+ private:
+  double schwarz(std::size_t pi) const { return schwarz_[pi]; }
+  void add_quartet(la::Matrix& j_mat, la::Matrix& k_mat,
+                   const la::Matrix& density, std::size_t i, std::size_t jj,
+                   std::size_t k, std::size_t l, double g) const;
+
+  Molecule molecule_;
+  common::ThreadPool& pool_;
+  BasisSet basis_;
+  la::Matrix hcore_;
+  la::Matrix overlap_;
+  la::Matrix x_;                  // S^(-1/2)
+  std::vector<ShellPair> pairs_;  // precomputed pair data, (i >= j)
+  std::vector<double> schwarz_;   // Q for pair index (i >= j)
+};
+
+/// Pair index for i >= j.
+inline std::size_t pair_index(std::size_t i, std::size_t j) {
+  return i * (i + 1) / 2 + j;
+}
+
+}  // namespace p8::hf

@@ -1,0 +1,113 @@
+#include "jaccard/minhash.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "jaccard/jaccard.hpp"
+
+namespace p8::jaccard {
+
+MinHash::MinHash(unsigned hashes, std::uint64_t seed) {
+  P8_REQUIRE(hashes >= 1, "need at least one hash");
+  common::Xoshiro256 rng(seed);
+  mul_.resize(hashes);
+  add_.resize(hashes);
+  for (unsigned h = 0; h < hashes; ++h) {
+    mul_[h] = rng() | 1;  // odd multiplier: a bijection mod 2^64
+    add_[h] = rng();
+  }
+}
+
+std::vector<std::uint64_t> MinHash::signatures(
+    const graph::Graph& g, common::ThreadPool& pool) const {
+  const std::uint32_t n = g.vertices();
+  const unsigned k = hashes();
+  std::vector<std::uint64_t> sig(static_cast<std::size_t>(n) * k,
+                                 std::numeric_limits<std::uint64_t>::max());
+  pool.parallel_for(0, n, [&](std::size_t v) {
+    std::uint64_t* row = &sig[v * k];
+    for (const std::uint32_t u : g.neighbors(static_cast<std::uint32_t>(v))) {
+      for (unsigned h = 0; h < k; ++h) {
+        // Multiply-shift universal hash of the neighbor id.
+        const std::uint64_t hashed = (u + 1) * mul_[h] + add_[h];
+        row[h] = std::min(row[h], hashed);
+      }
+    }
+  });
+  return sig;
+}
+
+double MinHash::estimate(std::span<const std::uint64_t> a,
+                         std::span<const std::uint64_t> b) {
+  P8_REQUIRE(a.size() == b.size() && !a.empty(), "signature size mismatch");
+  std::size_t agree = 0;
+  for (std::size_t h = 0; h < a.size(); ++h) agree += a[h] == b[h] ? 1 : 0;
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+LshResult lsh_similar_pairs(const graph::Graph& g, const MinHash& minhash,
+                            common::ThreadPool& pool,
+                            const LshOptions& options) {
+  P8_REQUIRE(options.bands * options.rows_per_band == minhash.hashes(),
+             "bands x rows_per_band must equal the signature length");
+  const std::uint32_t n = g.vertices();
+  const unsigned k = minhash.hashes();
+  const auto sig = minhash.signatures(g, pool);
+
+  // Bucket vertices per band by hashing the band slice.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> candidate_pairs;
+  for (unsigned band = 0; band < options.bands; ++band) {
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+    buckets.reserve(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      std::uint64_t key = 0xcbf29ce484222325ULL;  // FNV-ish fold
+      for (unsigned r = 0; r < options.rows_per_band; ++r) {
+        key ^= sig[static_cast<std::size_t>(v) * k +
+                   band * options.rows_per_band + r];
+        key *= 0x100000001b3ULL;
+      }
+      buckets[key].push_back(v);
+    }
+    for (const auto& [key, members] : buckets) {
+      (void)key;
+      if (members.size() < 2) continue;
+      for (std::size_t x = 0; x < members.size(); ++x)
+        for (std::size_t y = x + 1; y < members.size(); ++y)
+          candidate_pairs.emplace_back(members[x], members[y]);
+    }
+  }
+
+  // Dedup candidates across bands.
+  std::sort(candidate_pairs.begin(), candidate_pairs.end());
+  candidate_pairs.erase(
+      std::unique(candidate_pairs.begin(), candidate_pairs.end()),
+      candidate_pairs.end());
+
+  LshResult result;
+  result.candidates = candidate_pairs.size();
+
+  // Exact verification, parallel with worker-private output buckets.
+  std::vector<std::vector<graph::Triplet>> verified(pool.size());
+  pool.run_on_all([&](std::size_t worker) {
+    auto& out = verified[worker];
+    const auto [lo, hi] =
+        pool.static_range(0, candidate_pairs.size(), worker);
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const auto [i, j] = candidate_pairs[idx];
+      const double s = pair_similarity(g, i, j);
+      if (s >= options.threshold) out.push_back({i, j, s});
+    }
+  });
+  for (auto& bucket : verified)
+    result.pairs.insert(result.pairs.end(), bucket.begin(), bucket.end());
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const graph::Triplet& a, const graph::Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  return result;
+}
+
+}  // namespace p8::jaccard

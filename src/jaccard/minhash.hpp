@@ -1,0 +1,67 @@
+// MinHash signatures and LSH banding for approximate Jaccard search.
+//
+// The paper motivates all-pairs Jaccard with near-duplicate detection
+// in large corpora (§V-A, citing Rajaraman & Ullman).  At web scale
+// the practical algorithm is MinHash: k independent min-wise hashes of
+// each neighbor set give a signature whose per-position collision
+// probability equals the Jaccard similarity; locality-sensitive
+// banding then finds candidate pairs without the all-pairs product.
+// This module provides that approximate path next to the exact SpGEMM
+// kernel, so the two can be cross-validated (see tests and the
+// graph_analytics example).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/threading.hpp"
+#include "graph/csr.hpp"
+
+namespace p8::jaccard {
+
+class MinHash {
+ public:
+  /// `hashes` independent permutations (signature length).
+  MinHash(unsigned hashes, std::uint64_t seed = 2026);
+
+  unsigned hashes() const { return static_cast<unsigned>(mul_.size()); }
+
+  /// Signature matrix for every vertex's neighbor set: row v holds
+  /// the `hashes` min-values.  Vertices with empty neighborhoods get
+  /// all-max signatures.
+  std::vector<std::uint64_t> signatures(const graph::Graph& g,
+                                        common::ThreadPool& pool) const;
+
+  /// Estimated Jaccard similarity from two signature rows: the
+  /// fraction of agreeing positions.
+  static double estimate(std::span<const std::uint64_t> a,
+                         std::span<const std::uint64_t> b);
+
+ private:
+  std::vector<std::uint64_t> mul_;
+  std::vector<std::uint64_t> add_;
+};
+
+struct LshOptions {
+  unsigned bands = 16;      ///< signature split into bands of rows/band
+  unsigned rows_per_band = 4;
+  /// Candidate pairs are verified with the exact similarity and kept
+  /// if >= threshold.
+  double threshold = 0.5;
+};
+
+struct LshResult {
+  /// Verified pairs (i < j) with exact similarity >= threshold.
+  std::vector<graph::Triplet> pairs;
+  /// Candidates that banding produced before verification.
+  std::uint64_t candidates = 0;
+};
+
+/// Banded LSH over MinHash signatures: vertices agreeing on all rows
+/// of any band become candidates; candidates are verified exactly.
+/// Requires bands * rows_per_band == signature length.
+LshResult lsh_similar_pairs(const graph::Graph& g, const MinHash& minhash,
+                            common::ThreadPool& pool,
+                            const LshOptions& options = {});
+
+}  // namespace p8::jaccard

@@ -1,0 +1,55 @@
+// 3-D fast Fourier transform — the fourth Figure 9 kernel (OI ~ 1.6).
+//
+// Iterative radix-2 Cooley-Tukey on complex doubles, applied along
+// each dimension of an nx x ny x nz box (power-of-two sides).  The
+// y/z passes gather strided pencils into contiguous scratch, the
+// cache-friendly structure an out-of-cache 3-D FFT needs.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/threading.hpp"
+
+namespace p8::kernels {
+
+using Complex = std::complex<double>;
+
+/// In-place 1-D radix-2 FFT of a power-of-two-length span.
+/// `inverse` applies the conjugate transform including the 1/n scale.
+void fft_1d(std::span<Complex> data, bool inverse = false);
+
+class Fft3D {
+ public:
+  /// All sides must be powers of two and >= 2.
+  Fft3D(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t points() const { return nx_ * ny_ * nz_; }
+  std::size_t index(std::size_t x, std::size_t y, std::size_t z) const {
+    return (z * ny_ + y) * nx_ + x;
+  }
+
+  /// Forward (or inverse) transform in place; parallel over pencils.
+  void transform(std::span<Complex> field, common::ThreadPool& pool,
+                 bool inverse = false) const;
+
+  /// 5 n log2(n) real flops per 1-D transform, summed over the three
+  /// passes.
+  double flops_per_transform() const;
+  /// Compulsory bytes: the field crosses memory once per pass
+  /// (read + write, 16 B per complex point).
+  double bytes_per_transform() const;
+  double operational_intensity() const {
+    return flops_per_transform() / bytes_per_transform();
+  }
+
+ private:
+  std::size_t nx_, ny_, nz_;
+};
+
+}  // namespace p8::kernels

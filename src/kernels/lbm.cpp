@@ -1,0 +1,145 @@
+#include "kernels/lbm.hpp"
+
+#include "common/error.hpp"
+
+namespace p8::kernels {
+
+namespace {
+
+// D3Q19 velocity set: rest, 6 axis, 12 diagonal.
+constexpr int kCx[kLbmQ] = {0, 1, -1, 0, 0,  0, 0,  1, -1, 1,
+                            -1, 1, -1, 1, -1, 0, 0,  0, 0};
+constexpr int kCy[kLbmQ] = {0, 0, 0,  1, -1, 0, 0,  1, -1, -1,
+                            1, 0, 0,  0, 0,  1, -1, 1, -1};
+constexpr int kCz[kLbmQ] = {0, 0, 0,  0, 0,  1, -1, 0, 0,  0,
+                            0, 1, -1, -1, 1, 1, -1, -1, 1};
+constexpr double kW0 = 1.0 / 3.0;
+constexpr double kWa = 1.0 / 18.0;  // axis
+constexpr double kWd = 1.0 / 36.0;  // diagonal
+
+double weight(int q) {
+  if (q == 0) return kW0;
+  return (kCx[q] * kCx[q] + kCy[q] * kCy[q] + kCz[q] * kCz[q]) == 1 ? kWa
+                                                                    : kWd;
+}
+
+}  // namespace
+
+LbmD3Q19::LbmD3Q19(std::size_t nx, std::size_t ny, std::size_t nz,
+                   double tau)
+    : nx_(nx), ny_(ny), nz_(nz), tau_(tau) {
+  P8_REQUIRE(nx >= 2 && ny >= 2 && nz >= 2, "lattice too small");
+  P8_REQUIRE(tau > 0.5, "BGK stability requires tau > 1/2");
+  for (int q = 0; q < kLbmQ; ++q) {
+    f_[q].assign(cells(), 0.0);
+    f_next_[q].assign(cells(), 0.0);
+  }
+}
+
+double LbmD3Q19::equilibrium(int q, double rho, double ux, double uy,
+                             double uz) const {
+  const double cu = kCx[q] * ux + kCy[q] * uy + kCz[q] * uz;
+  const double uu = ux * ux + uy * uy + uz * uz;
+  return weight(q) * rho *
+         (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * uu);
+}
+
+void LbmD3Q19::initialize(double density, double ux, double uy, double uz) {
+  for (int q = 0; q < kLbmQ; ++q) {
+    const double feq = equilibrium(q, density, ux, uy, uz);
+    for (auto& v : f_[q]) v = feq;
+  }
+}
+
+void LbmD3Q19::step(common::ThreadPool& pool) {
+  const double omega = 1.0 / tau_;
+  pool.parallel_for(0, nz_, [&](std::size_t z) {
+    for (std::size_t y = 0; y < ny_; ++y) {
+      for (std::size_t x = 0; x < nx_; ++x) {
+        // Pull: gather the post-streaming populations of this cell.
+        double pops[kLbmQ];
+        double rho = 0.0;
+        double mx = 0.0;
+        double my = 0.0;
+        double mz = 0.0;
+        for (int q = 0; q < kLbmQ; ++q) {
+          // Source cell = this cell minus the velocity (periodic).
+          const std::size_t sx =
+              (x + nx_ - static_cast<std::size_t>(kCx[q] + 1) + 1) % nx_;
+          const std::size_t sy =
+              (y + ny_ - static_cast<std::size_t>(kCy[q] + 1) + 1) % ny_;
+          const std::size_t sz =
+              (z + nz_ - static_cast<std::size_t>(kCz[q] + 1) + 1) % nz_;
+          const double v = f_[q][cell(sx, sy, sz)];
+          pops[q] = v;
+          rho += v;
+          mx += v * kCx[q];
+          my += v * kCy[q];
+          mz += v * kCz[q];
+        }
+        const double inv_rho = rho > 0 ? 1.0 / rho : 0.0;
+        const double ux = mx * inv_rho;
+        const double uy = my * inv_rho;
+        const double uz = mz * inv_rho;
+        const std::size_t p = cell(x, y, z);
+        for (int q = 0; q < kLbmQ; ++q) {
+          const double feq = equilibrium(q, rho, ux, uy, uz);
+          f_next_[q][p] = pops[q] + omega * (feq - pops[q]);
+        }
+      }
+    }
+  });
+  for (int q = 0; q < kLbmQ; ++q) std::swap(f_[q], f_next_[q]);
+}
+
+LbmMacro LbmD3Q19::macroscopic(std::size_t x, std::size_t y,
+                               std::size_t z) const {
+  LbmMacro m;
+  const std::size_t p = cell(x, y, z);
+  for (int q = 0; q < kLbmQ; ++q) {
+    const double v = f_[q][p];
+    m.density += v;
+    m.ux += v * kCx[q];
+    m.uy += v * kCy[q];
+    m.uz += v * kCz[q];
+  }
+  if (m.density > 0) {
+    m.ux /= m.density;
+    m.uy /= m.density;
+    m.uz /= m.density;
+  }
+  return m;
+}
+
+double LbmD3Q19::total_mass() const {
+  double mass = 0.0;
+  for (int q = 0; q < kLbmQ; ++q)
+    for (const double v : f_[q]) mass += v;
+  return mass;
+}
+
+std::array<double, 3> LbmD3Q19::total_momentum() const {
+  std::array<double, 3> mom{0.0, 0.0, 0.0};
+  for (int q = 0; q < kLbmQ; ++q) {
+    double sum = 0.0;
+    for (const double v : f_[q]) sum += v;
+    mom[0] += sum * kCx[q];
+    mom[1] += sum * kCy[q];
+    mom[2] += sum * kCz[q];
+  }
+  return mom;
+}
+
+double LbmD3Q19::flops_per_step() const {
+  // Per cell: 19 gathers feeding 4 moment accumulations (~7 flops
+  // each), then 19 equilibria (~14 flops) + relaxation (3 flops).
+  return static_cast<double>(cells()) *
+         (19.0 * 7.0 + 19.0 * (14.0 + 3.0) + 10.0);
+}
+
+double LbmD3Q19::bytes_per_step() const {
+  // Compulsory: read one lattice, write the other (19 doubles each).
+  return static_cast<double>(cells()) * 2.0 * kLbmQ * 8.0;
+}
+
+}  // namespace p8::kernels

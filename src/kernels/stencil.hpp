@@ -1,0 +1,62 @@
+// 3-D stencil kernel — one of the four scientific kernels the paper
+// places on the E870 roofline (§IV, Figure 9, OI ~ 0.5).
+//
+// Jacobi-style 7-point sweep over an nx x ny x nz grid with two
+// buffers.  The kernel reports its own flop and (compulsory) byte
+// counts so the measured operational intensity can be placed on the
+// roofline next to the paper's nominal point.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/threading.hpp"
+
+namespace p8::kernels {
+
+struct StencilGrid {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t nz = 0;
+
+  std::size_t points() const { return nx * ny * nz; }
+  std::size_t index(std::size_t x, std::size_t y, std::size_t z) const {
+    return (z * ny + y) * nx + x;
+  }
+};
+
+class Stencil7 {
+ public:
+  /// Coefficients: out = c_center * in[p] + c_neighbor * sum(6 nbrs).
+  Stencil7(const StencilGrid& grid, double c_center = 0.4,
+           double c_neighbor = 0.1);
+
+  const StencilGrid& grid() const { return grid_; }
+
+  /// One sweep: writes `out` from `in` (interior points; boundary
+  /// copied through).  Parallel over z-slabs.
+  void sweep(std::span<const double> in, std::span<double> out,
+             common::ThreadPool& pool) const;
+
+  /// Runs `sweeps` iterations ping-ponging two buffers; returns the
+  /// final field (the buffer last written).
+  std::vector<double> run(std::vector<double> initial, int sweeps,
+                          common::ThreadPool& pool) const;
+
+  /// FLOPs per sweep: interior points x 8 (6 adds + 2 muls).
+  double flops_per_sweep() const;
+  /// Compulsory DRAM bytes per sweep: read grid + write grid.
+  double bytes_per_sweep() const;
+  /// Nominal operational intensity (paper's Figure 9 uses ~0.5).
+  double operational_intensity() const {
+    return flops_per_sweep() / bytes_per_sweep();
+  }
+
+ private:
+  StencilGrid grid_;
+  double c_center_;
+  double c_neighbor_;
+};
+
+}  // namespace p8::kernels

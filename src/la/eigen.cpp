@@ -1,0 +1,98 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace p8::la {
+
+EigenResult symmetric_eigen(const Matrix& input, double tolerance,
+                            int max_sweeps) {
+  P8_REQUIRE(input.rows() == input.cols(), "square matrix required");
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+
+  auto off_diagonal_norm = [&] {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) sum += a(i, j) * a(i, j);
+    return std::sqrt(2.0 * sum);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tolerance * (1.0 + a.max_abs())) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a(x, x) < a(y, y);
+  });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.values[k] = a(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r)
+      result.vectors(r, k) = v(r, order[k]);
+  }
+  return result;
+}
+
+Matrix inverse_sqrt(const Matrix& s, double pivot_tolerance) {
+  const EigenResult eig = symmetric_eigen(s);
+  const std::size_t n = s.rows();
+  for (const double lambda : eig.values)
+    P8_REQUIRE(lambda > pivot_tolerance,
+               "overlap matrix is not positive definite "
+               "(linearly dependent basis?)");
+  // X = U diag(1/sqrt(lambda)) U^T.
+  Matrix x(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        sum += eig.vectors(i, k) * eig.vectors(j, k) /
+               std::sqrt(eig.values[k]);
+      x(i, j) = sum;
+    }
+  return x;
+}
+
+}  // namespace p8::la

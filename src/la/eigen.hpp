@@ -1,0 +1,29 @@
+// Symmetric eigensolver (cyclic Jacobi) and the orthogonalization
+// helpers the SCF density stage needs.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace p8::la {
+
+struct EigenResult {
+  /// Ascending eigenvalues.
+  std::vector<double> values;
+  /// Column k of `vectors` is the eigenvector for values[k].
+  Matrix vectors;
+};
+
+/// Diagonalizes a symmetric matrix with the cyclic Jacobi method.
+/// Robust and embarrassingly simple; O(n^3) per sweep with typically
+/// 6-10 sweeps — fine for the basis-set sizes of the HF benchmarks.
+EigenResult symmetric_eigen(const Matrix& a, double tolerance = 1e-12,
+                            int max_sweeps = 64);
+
+/// Löwdin orthogonalization: X = S^(-1/2) for a symmetric positive
+/// definite overlap matrix S.  Throws if S has a non-positive
+/// eigenvalue (linearly dependent basis).
+Matrix inverse_sqrt(const Matrix& s, double pivot_tolerance = 1e-10);
+
+}  // namespace p8::la

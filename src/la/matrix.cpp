@@ -1,0 +1,69 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p8::la {
+
+double Matrix::distance(const Matrix& other) const {
+  P8_REQUIRE(same_shape(other), "shape mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  P8_REQUIRE(a.cols() == b.rows(), "inner dimensions must agree");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order streams b and c rows; adequate for the O(n^3)
+  // work sizes the density stage sees (n = basis functions).
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b, double alpha, double beta) {
+  P8_REQUIRE(a.same_shape(b), "shape mismatch");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t col = 0; col < a.cols(); ++col)
+      c(r, col) = alpha * a(r, col) + beta * b(r, col);
+  return c;
+}
+
+void symmetrize(Matrix& a) {
+  P8_REQUIRE(a.rows() == a.cols(), "square matrix required");
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      const double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+}
+
+double trace_product(const Matrix& a, const Matrix& b) {
+  P8_REQUIRE(a.cols() == b.rows() && a.rows() == b.cols(),
+             "trace(ab) needs conformal shapes");
+  double t = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) t += a(i, k) * b(k, i);
+  return t;
+}
+
+}  // namespace p8::la

@@ -1,0 +1,81 @@
+// Dense row-major matrices — the substrate for the Hartree-Fock
+// density stage (Fock diagonalization, basis orthogonalization).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace p8::la {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return std::span<double>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<const double> row(std::size_t r) const {
+    return std::span<const double>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  /// Frobenius norm of (this - other); matrices must be conformal.
+  double distance(const Matrix& other) const;
+
+  /// Largest |a_ij|.
+  double max_abs() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// c = a * b (blocked, single-threaded inner kernel).
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// c = alpha * a + beta * b.
+Matrix add(const Matrix& a, const Matrix& b, double alpha = 1.0,
+           double beta = 1.0);
+
+/// Symmetrizes in place: a = (a + a^T) / 2.
+void symmetrize(Matrix& a);
+
+/// trace(a * b) for symmetric conformal matrices — the HF energy
+/// contraction; O(n^2), no product is materialized.
+double trace_product(const Matrix& a, const Matrix& b);
+
+}  // namespace p8::la

@@ -1,0 +1,101 @@
+#include "la/purification.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace p8::la {
+
+namespace {
+
+/// Gershgorin bounds on the spectrum of a symmetric matrix.
+std::pair<double, double> gershgorin(const Matrix& a) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double radius = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (j != i) radius += std::abs(a(i, j));
+    lo = std::min(lo, a(i, i) - radius);
+    hi = std::max(hi, a(i, i) + radius);
+  }
+  return {lo, hi};
+}
+
+double trace(const Matrix& a) {
+  double t = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) t += a(i, i);
+  return t;
+}
+
+}  // namespace
+
+PurificationResult purify(const Matrix& fock_ortho, std::size_t occupied,
+                          const PurificationOptions& options) {
+  P8_REQUIRE(fock_ortho.rows() == fock_ortho.cols(), "square matrix");
+  const std::size_t n = fock_ortho.rows();
+  P8_REQUIRE(occupied <= n, "cannot occupy more orbitals than functions");
+  PurificationResult result;
+  if (occupied == 0 || occupied == n) {
+    // Trivial projectors.
+    result.projector = Matrix(n, n);
+    if (occupied == n)
+      for (std::size_t i = 0; i < n; ++i) result.projector(i, i) = 1.0;
+    result.converged = true;
+    return result;
+  }
+
+  // Palser-Manolopoulos initial guess: D0 = (lambda/n)(mu I - F) +
+  // (occ/n) I, with lambda chosen so that the spectrum of D0 lies in
+  // [0, 1] (Gershgorin bounds stand in for the extreme eigenvalues).
+  const auto [emin, emax] = gershgorin(fock_ortho);
+  const double mu = trace(fock_ortho) / static_cast<double>(n);
+  const double occ_frac =
+      static_cast<double>(occupied) / static_cast<double>(n);
+  const double lambda =
+      std::min(static_cast<double>(occupied) / (emax - mu + 1e-300),
+               static_cast<double>(n - occupied) / (mu - emin + 1e-300));
+
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      d(i, j) = (lambda / static_cast<double>(n)) *
+                ((i == j ? mu : 0.0) - fock_ortho(i, j));
+      if (i == j) d(i, j) += occ_frac;
+    }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const Matrix d2 = multiply(d, d);
+    // tr(D - D^2) >= 0 measures distance from idempotency.
+    const double impurity = trace(d) - trace(d2);
+    result.iterations = iter;
+    if (impurity < options.idempotency_tolerance) {
+      result.converged = true;
+      break;
+    }
+    const Matrix d3 = multiply(d2, d);
+    const double c = (trace(d2) - trace(d3)) / impurity;
+    // Trace-conserving update (PM canonical purification).
+    Matrix next(n, n);
+    if (c <= 0.5) {
+      const double inv = 1.0 / (1.0 - c);
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          next(i, j) = inv * ((1.0 - 2.0 * c) * d(i, j) +
+                              (1.0 + c) * d2(i, j) - d3(i, j));
+    } else {
+      const double inv = 1.0 / c;
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          next(i, j) = inv * ((1.0 + c) * d2(i, j) - d3(i, j));
+    }
+    d = std::move(next);
+  }
+  result.converged =
+      result.converged &&
+      std::abs(trace(d) - static_cast<double>(occupied)) < 1e-6;
+  result.projector = std::move(d);
+  return result;
+}
+
+}  // namespace p8::la

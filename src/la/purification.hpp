@@ -1,0 +1,34 @@
+// Density-matrix purification (Palser-Manolopoulos canonical scheme).
+//
+// The paper's §V-C density stage "computes the spectral projector of
+// F".  Diagonalization is one way; purification is the O(n^3)
+// diagonalization-free alternative production codes use at scale:
+// starting from a linear map of the (orthogonalized) Fock matrix, the
+// trace-conserving McWeeny iteration drives the matrix to the
+// idempotent projector onto the lowest `occupied` eigenvectors.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace p8::la {
+
+struct PurificationOptions {
+  double idempotency_tolerance = 1e-10;  ///< stop when tr(D - D^2) small
+  int max_iterations = 100;
+};
+
+struct PurificationResult {
+  /// Projector onto the lowest `occupied` eigenvectors (trace =
+  /// occupied); in SCF use, P = 2 X D X^T.
+  Matrix projector;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Computes the spectral projector of the symmetric matrix
+/// `fock_ortho` onto its `occupied` lowest eigenpairs, without
+/// diagonalization.
+PurificationResult purify(const Matrix& fock_ortho, std::size_t occupied,
+                          const PurificationOptions& options = {});
+
+}  // namespace p8::la

@@ -1,0 +1,42 @@
+#include "la/solve.hpp"
+
+#include <cmath>
+
+namespace p8::la {
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b,
+                                 double pivot_tolerance) {
+  P8_REQUIRE(a.rows() == a.cols(), "square system required");
+  P8_REQUIRE(b.size() == a.rows(), "rhs size mismatch");
+  const std::size_t n = a.rows();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    P8_REQUIRE(std::abs(a(pivot, col)) > pivot_tolerance,
+               "singular system in solve_linear");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t r = n; r-- > 0;) {
+    double sum = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) sum -= a(r, c) * x[c];
+    x[r] = sum / a(r, r);
+  }
+  return x;
+}
+
+}  // namespace p8::la

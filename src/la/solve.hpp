@@ -1,0 +1,16 @@
+// Small dense linear solves (Gaussian elimination with partial
+// pivoting) — used by the DIIS extrapolation in the SCF driver.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace p8::la {
+
+/// Solves A x = b for square A.  Throws std::invalid_argument on a
+/// (numerically) singular system.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b,
+                                 double pivot_tolerance = 1e-13);
+
+}  // namespace p8::la

@@ -1,0 +1,92 @@
+// Model-predicted E870 SpMV performance.
+//
+// The bridge between the two halves of this reproduction: the *native*
+// SpMV library measures host GFLOP/s (Figures 11/12), and this module
+// predicts what the same matrix would do on the modelled E870 by
+//
+//  1. replaying the kernel's x-gather pattern through the cache
+//     hierarchy simulator to find the fraction of input-vector
+//     accesses served on chip,
+//  2. accounting compulsory traffic (matrix values + indices stream
+//     once; y is written once with write-allocation; every missed x
+//     gather pulls a full 128 B line), and
+//  3. bounding throughput with the memory-bandwidth model at the
+//     resulting read:write mix.
+//
+// Absolute paper numbers for Figure 11 are not published as a table,
+// but the prediction reproduces the figure's *ordering*: structured
+// matrices near the Dense ceiling, scale-free ones well below.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "sim/machine/machine.hpp"
+
+namespace p8::predict {
+
+struct SpmvPrediction {
+  /// Fraction of x[col] gathers served by the on-chip hierarchy.
+  double x_hit_fraction = 0.0;
+  /// Centaur-link traffic per nonzero (bytes, reads + writes).
+  double bytes_per_nnz = 0.0;
+  /// Read:write byte ratio of that traffic.
+  double read_to_write = 0.0;
+  /// Whole-machine prediction (all 64 cores).
+  double gflops = 0.0;
+};
+
+struct SpmvPredictOptions {
+  /// Nonzeros sampled for the cache replay (whole matrix if smaller).
+  std::uint64_t sample_nnz = 2'000'000;
+  /// Matrix value + column-index bytes streamed per nonzero.
+  double matrix_bytes_per_nnz = 12.0;
+};
+
+/// Predicts CSR SpMV (y = A x, x replicated per socket) on `machine`.
+SpmvPrediction predict_csr_spmv(const graph::CsrMatrix& a,
+                                const sim::Machine& machine,
+                                const SpmvPredictOptions& options = {});
+
+// ---- the two-phase tiled algorithm (§V-B2) ---------------------------------
+
+struct TiledPrediction {
+  double bytes_per_nnz = 0.0;    ///< total link traffic, both phases
+  double read_to_write = 0.0;
+  /// Prefetch efficiency of the phase-2 tile streams (1.0 = long
+  /// streams; drops for small tiles — the Figure 12 decay mechanism).
+  double stream_efficiency = 0.0;
+  double mean_tile_nnz = 0.0;
+  double gflops = 0.0;
+};
+
+struct TiledPredictOptions {
+  /// Tile geometry, matched to the L3 working set like the real code.
+  std::uint32_t col_block = 65536;
+  std::uint32_t row_block = 65536;
+};
+
+/// Predicts the two-phase tiled SpMV without materializing the tiles:
+/// needs only the matrix's dimensions, nonzero count and the resulting
+/// mean tile population.  Traffic model (per nonzero): phase 1 reads
+/// value+index (12 B) and x slices (cache resident) and writes the
+/// scaled copy (8 B + allocate); phase 2 reads scaled+row (12 B) and
+/// accumulates into cache-resident y slices.  Short tile streams lose
+/// prefetch coverage; the efficiency factor comes from the same ramp
+/// model the DCBT experiment (Fig. 8) validated.
+TiledPrediction predict_tiled_spmv(const graph::CsrMatrix& a,
+                                   const sim::Machine& machine,
+                                   const TiledPredictOptions& options = {});
+
+/// Analytic variant for matrices too large to build: an R-MAT-like
+/// square matrix with `n` rows and `nnz` nonzeros spread uniformly
+/// over the tile grid.
+TiledPrediction predict_tiled_spmv_shape(std::uint64_t n, std::uint64_t nnz,
+                                         const sim::Machine& machine,
+                                         const TiledPredictOptions& options = {});
+
+/// CSR counterpart for the same synthetic shape: x-gather hit fraction
+/// approximated by the cache-capacity-to-vector ratio (gathers are
+/// effectively uniform for a permuted R-MAT).
+SpmvPrediction predict_csr_spmv_shape(std::uint64_t n, std::uint64_t nnz,
+                                      const sim::Machine& machine);
+
+}  // namespace p8::predict

@@ -1,0 +1,41 @@
+#include "roofline/energy.hpp"
+
+#include "common/error.hpp"
+
+namespace p8::roofline {
+
+EnergyRoofline::EnergyRoofline(const RooflineModel& performance,
+                               const EnergyParams& params)
+    : performance_(performance), params_(params) {
+  P8_REQUIRE(params.pj_per_flop > 0 && params.pj_per_byte > 0,
+             "energy coefficients must be positive");
+  P8_REQUIRE(params.constant_watts >= 0, "constant power cannot be negative");
+}
+
+double EnergyRoofline::dynamic_pj_per_flop(double oi) const {
+  P8_REQUIRE(oi > 0, "operational intensity must be positive");
+  return params_.pj_per_flop + params_.pj_per_byte / oi;
+}
+
+double EnergyRoofline::total_pj_per_flop(double oi) const {
+  // Constant power paid over the time the performance roofline allows:
+  // T/W = 1 / attainable (s per flop), so P0 * T / W = P0 / attainable.
+  const double gflops = performance_.attainable_gflops(oi);
+  const double constant_pj =
+      params_.constant_watts / gflops;  // W / (GFLOP/s) = nJ/flop... in pJ:
+  return dynamic_pj_per_flop(oi) + constant_pj * 1000.0;
+}
+
+double EnergyRoofline::gflops_per_watt(double oi) const {
+  // GFLOP/s/W = 1e12 flops/J / 1e9 = 1000 / (pJ/flop).
+  return 1000.0 / total_pj_per_flop(oi);
+}
+
+double EnergyRoofline::power_watts(double oi) const {
+  const double gflops = performance_.attainable_gflops(oi);
+  // Dynamic power = rate x energy: GFLOP/s * pJ/flop = mW.
+  const double dynamic_mw = gflops * dynamic_pj_per_flop(oi);
+  return params_.constant_watts + dynamic_mw / 1000.0;
+}
+
+}  // namespace p8::roofline

@@ -1,0 +1,58 @@
+// Energy roofline (Choi, Vuduc, Fowler & Bendard — the paper's
+// reference [9]).
+//
+// Extends the performance roofline of Figure 9 with the energy view:
+// executing W flops that move Q bytes costs
+//
+//   E = W * pi + Q * epsilon + P0 * T
+//
+// (pi: energy per flop, epsilon: energy per DRAM byte, P0: constant
+// power, T: runtime from the performance roofline).  Efficiency in
+// GFLOP/s/W then has its own balance point — the intensity where
+// flop energy overtakes byte energy — which for memory-priced systems
+// sits well to the right of the 1.2 performance ridge, reinforcing
+// the paper's "data movement is the bottleneck" conclusion.
+#pragma once
+
+#include "roofline/roofline.hpp"
+
+namespace p8::roofline {
+
+struct EnergyParams {
+  double pj_per_flop = 80.0;    ///< pi: DP flop energy (pJ)
+  double pj_per_byte = 250.0;   ///< epsilon: DRAM + Centaur link energy (pJ)
+  double constant_watts = 1000.0;  ///< P0: static/leakage/fans for the box
+};
+
+class EnergyRoofline {
+ public:
+  EnergyRoofline(const RooflineModel& performance,
+                 const EnergyParams& params = {});
+
+  const EnergyParams& params() const { return params_; }
+
+  /// Dynamic energy per flop at intensity `oi` (pJ): pi + epsilon/oi.
+  double dynamic_pj_per_flop(double oi) const;
+
+  /// Total energy per flop including the constant-power term, which
+  /// depends on how fast the performance roofline lets the kernel run.
+  double total_pj_per_flop(double oi) const;
+
+  /// Achievable efficiency (GFLOP/s per watt) at intensity `oi`.
+  double gflops_per_watt(double oi) const;
+
+  /// The *energy* balance point epsilon/pi: below it, moving bytes
+  /// dominates the energy bill.
+  double energy_balance_oi() const {
+    return params_.pj_per_byte / params_.pj_per_flop;
+  }
+
+  /// Total machine power when running at intensity `oi` (watts).
+  double power_watts(double oi) const;
+
+ private:
+  RooflineModel performance_;
+  EnergyParams params_;
+};
+
+}  // namespace p8::roofline

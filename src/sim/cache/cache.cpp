@@ -1,0 +1,147 @@
+#include "sim/cache/cache.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace p8::sim {
+
+SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, unsigned ways,
+                             std::uint64_t line_bytes)
+    : capacity_(capacity_bytes), ways_(ways), line_bytes_(line_bytes) {
+  P8_REQUIRE(ways_ >= 1, "cache needs at least one way");
+  P8_REQUIRE(line_bytes_ > 0 && std::has_single_bit(line_bytes_),
+             "line size must be a power of two");
+  P8_REQUIRE(capacity_ % (static_cast<std::uint64_t>(ways_) * line_bytes_) == 0,
+             "capacity must be a whole number of sets");
+  line_shift_ = static_cast<std::uint64_t>(std::countr_zero(line_bytes_));
+  sets_ = capacity_ / (static_cast<std::uint64_t>(ways_) * line_bytes_);
+  P8_REQUIRE(sets_ >= 1, "capacity too small for the given geometry");
+  entries_.resize(sets_ * ways_);
+}
+
+std::uint64_t SetAssocCache::set_of(std::uint64_t addr) const {
+  return (addr >> line_shift_) % sets_;
+}
+
+std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const {
+  return (addr >> line_shift_) / sets_;
+}
+
+std::uint64_t SetAssocCache::line_addr(std::uint64_t set,
+                                       std::uint64_t tag) const {
+  return (tag * sets_ + set) << line_shift_;
+}
+
+bool SetAssocCache::probe(std::uint64_t addr) const {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Way* base = &entries_[set * ways_];
+  for (unsigned w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+bool SetAssocCache::touch(std::uint64_t addr) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &entries_[set * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = ++clock_;
+      return true;
+    }
+  }
+  return false;
+}
+
+SetAssocCache::AccessResult SetAssocCache::access(std::uint64_t addr) {
+  if (touch(addr)) return {true, std::nullopt};
+  return {false, install(addr)};
+}
+
+std::optional<std::uint64_t> SetAssocCache::install(std::uint64_t addr) {
+  const auto ev = install_line(addr, /*dirty=*/false);
+  if (!ev) return std::nullopt;
+  return ev->line;
+}
+
+std::optional<SetAssocCache::Eviction> SetAssocCache::install_line(
+    std::uint64_t addr, bool dirty) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &entries_[set * ways_];
+  // Reuse an existing entry (refresh), then an invalid way, then LRU.
+  Way* victim = nullptr;
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = ++clock_;
+      base[w].dirty = base[w].dirty || dirty;
+      return std::nullopt;
+    }
+    if (!base[w].valid && victim == nullptr) victim = &base[w];
+  }
+  std::optional<Eviction> evicted;
+  if (victim == nullptr) {
+    victim = &base[0];
+    for (unsigned w = 1; w < ways_; ++w)
+      if (base[w].lru < victim->lru) victim = &base[w];
+    evicted = Eviction{line_addr(set, victim->tag), victim->dirty};
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++clock_;
+  victim->dirty = dirty;
+  return evicted;
+}
+
+bool SetAssocCache::mark_dirty(std::uint64_t addr) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &entries_[set * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].dirty = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SetAssocCache::is_dirty(std::uint64_t addr) const {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Way* base = &entries_[set * ways_];
+  for (unsigned w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].tag == tag) return base[w].dirty;
+  return false;
+}
+
+bool SetAssocCache::invalidate(std::uint64_t addr) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &entries_[set * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].valid = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetAssocCache::clear() {
+  for (auto& e : entries_) {
+    e.valid = false;
+    e.dirty = false;
+  }
+  clock_ = 0;
+}
+
+std::uint64_t SetAssocCache::resident_lines() const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) n += e.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace p8::sim

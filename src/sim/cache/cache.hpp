@@ -1,0 +1,93 @@
+// Set-associative cache model with true-LRU replacement.
+//
+// This is the building block for every level of the POWER8 hierarchy
+// (L1D, L2, local L3, the NUCA remote-L3 pool, and the Centaur L4).
+// It tracks tags only — the simulator cares about hit/miss behaviour
+// and evictions (for victim forwarding), not data contents.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace p8::sim {
+
+class SetAssocCache {
+ public:
+  /// `capacity_bytes` must be a multiple of `ways * line_bytes`;
+  /// `line_bytes` must be a power of two.
+  SetAssocCache(std::uint64_t capacity_bytes, unsigned ways,
+                std::uint64_t line_bytes);
+
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  unsigned ways() const { return ways_; }
+  std::uint64_t line_bytes() const { return line_bytes_; }
+  std::uint64_t sets() const { return sets_; }
+
+  /// Looks up the line containing `addr` WITHOUT modifying state.
+  bool probe(std::uint64_t addr) const;
+
+  /// Looks up and, on hit, promotes to MRU.  Does not allocate.
+  bool touch(std::uint64_t addr);
+
+  /// Demand access: on hit promotes to MRU and returns {true, nullopt};
+  /// on miss allocates the line and returns {false, evicted_line_addr}
+  /// (nullopt when an invalid way was used).
+  struct AccessResult {
+    bool hit = false;
+    std::optional<std::uint64_t> evicted;
+  };
+  AccessResult access(std::uint64_t addr);
+
+  /// Installs a line (e.g. a victim cast-out from an upper level)
+  /// without counting as a demand access.  Returns the evicted line.
+  std::optional<std::uint64_t> install(std::uint64_t addr);
+
+  /// A line pushed out by an install, with its dirty state — the
+  /// hierarchy uses this to route write-backs.
+  struct Eviction {
+    std::uint64_t line = 0;
+    bool dirty = false;
+  };
+
+  /// Like install(), with dirty tracking: the installed line adopts
+  /// `dirty` (OR-ed with any existing dirty state on a refresh).
+  std::optional<Eviction> install_line(std::uint64_t addr, bool dirty);
+
+  /// Marks the line dirty if present; returns whether it was found.
+  bool mark_dirty(std::uint64_t addr);
+
+  /// True if present and dirty.
+  bool is_dirty(std::uint64_t addr) const;
+
+  /// Removes the line if present; returns whether it was present.
+  bool invalidate(std::uint64_t addr);
+
+  /// Drops all contents.
+  void clear();
+
+  /// Number of valid lines currently resident.
+  std::uint64_t resident_lines() const;
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t set_of(std::uint64_t addr) const;
+  std::uint64_t tag_of(std::uint64_t addr) const;
+  std::uint64_t line_addr(std::uint64_t set, std::uint64_t tag) const;
+
+  std::uint64_t capacity_;
+  unsigned ways_;
+  std::uint64_t line_bytes_;
+  std::uint64_t line_shift_;
+  std::uint64_t sets_;
+  std::uint64_t clock_ = 0;
+  std::vector<Way> entries_;  // sets_ * ways_, row-major by set
+};
+
+}  // namespace p8::sim

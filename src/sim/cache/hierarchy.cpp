@@ -1,0 +1,212 @@
+#include "sim/cache/hierarchy.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace p8::sim {
+
+const char* to_string(ServiceLevel level) {
+  switch (level) {
+    case ServiceLevel::kL1:
+      return "L1";
+    case ServiceLevel::kL2:
+      return "L2";
+    case ServiceLevel::kL3Local:
+      return "L3(local)";
+    case ServiceLevel::kL3Remote:
+      return "L3(remote)";
+    case ServiceLevel::kL4:
+      return "L4";
+    case ServiceLevel::kDram:
+      return "DRAM";
+  }
+  return "?";
+}
+
+double HierarchyLatencies::of(ServiceLevel level) const {
+  switch (level) {
+    case ServiceLevel::kL1:
+      return l1_ns;
+    case ServiceLevel::kL2:
+      return l2_ns;
+    case ServiceLevel::kL3Local:
+      return l3_local_ns;
+    case ServiceLevel::kL3Remote:
+      return l3_remote_ns;
+    case ServiceLevel::kL4:
+      return l4_ns;
+    case ServiceLevel::kDram:
+      return dram_ns;
+  }
+  return 0.0;
+}
+
+HierarchyConfig HierarchyConfig::from_spec(const arch::SystemSpec& spec) {
+  HierarchyConfig c;
+  const auto& core = spec.processor.core;
+  c.line_bytes = spec.processor.cache_line_bytes;
+  c.l1_bytes = core.l1d_bytes;
+  c.l2_bytes = core.l2_bytes;
+  c.l3_bytes = core.l3_bytes;
+  c.chip_cores = spec.cores_per_chip;
+  c.centaurs = spec.centaurs_per_chip;
+  return c;
+}
+
+namespace {
+
+SetAssocCache make_victim_pool(const HierarchyConfig& c) {
+  // The other (chip_cores - 1) L3 regions.  When victim forwarding is
+  // disabled (ablation) we still need a non-zero cache object; a
+  // single-line cache that is never consulted keeps the code uniform.
+  const int peers = c.chip_cores - 1;
+  if (!c.victim_l3 || peers <= 0)
+    return SetAssocCache(c.line_bytes, 1, c.line_bytes);
+  return SetAssocCache(c.l3_bytes * static_cast<std::uint64_t>(peers), 16,
+                       c.line_bytes);
+}
+
+SetAssocCache make_l4(const HierarchyConfig& c) {
+  if (!c.l4_enabled)
+    return SetAssocCache(c.line_bytes, 1, c.line_bytes);
+  return SetAssocCache(
+      common::mib(16) * static_cast<std::uint64_t>(c.centaurs), 16,
+      c.line_bytes);
+}
+
+}  // namespace
+
+ChipMemoryModel::ChipMemoryModel(const HierarchyConfig& config)
+    : config_(config),
+      l1_(config.l1_bytes, config.l1_ways, config.line_bytes),
+      l2_(config.l2_bytes, config.l2_ways, config.line_bytes),
+      l3_(config.l3_bytes, config.l3_ways, config.line_bytes),
+      l3_victim_(make_victim_pool(config)),
+      l4_(make_l4(config)) {
+  P8_REQUIRE(config.chip_cores >= 1, "chip needs at least one core");
+}
+
+void ChipMemoryModel::cast_into_victim(const SetAssocCache::Eviction& line) {
+  // A line leaving the on-chip SRAM: clean copies vanish (a valid copy
+  // exists in L4/DRAM), dirty ones cross the Centaur write link.
+  auto leave_sram = [&](const SetAssocCache::Eviction& out) {
+    if (!out.dirty) return;
+    ++counters_.memlink_line_writes;
+    if (config_.l4_enabled) {
+      if (const auto ev4 = l4_.install_line(out.line, /*dirty=*/true);
+          ev4 && ev4->dirty)
+        ++counters_.dram_writes;
+    } else {
+      ++counters_.dram_writes;
+    }
+  };
+  if (config_.victim_l3) {
+    if (const auto evv = l3_victim_.install_line(line.line, line.dirty))
+      leave_sram(*evv);
+  } else {
+    leave_sram(line);
+  }
+}
+
+void ChipMemoryModel::cast_into_l3(const SetAssocCache::Eviction& line) {
+  if (line.dirty) ++counters_.l2_writebacks;
+  if (const auto ev3 = l3_.install_line(line.line, line.dirty))
+    cast_into_victim(*ev3);
+}
+
+void ChipMemoryModel::fill_upper(std::uint64_t addr) {
+  // Fill path into L1/L2/L3.  L1 evictions vanish (store-through; the
+  // line remains in L2).  L2 evictions cast into the local L3; local
+  // L3 evictions cast laterally into the victim pool (NUCA).
+  l1_.install(addr);
+  if (const auto ev2 = l2_.install_line(addr, /*dirty=*/false))
+    cast_into_l3(*ev2);
+  if (const auto ev3 = l3_.install_line(addr, /*dirty=*/false))
+    cast_into_victim(*ev3);
+}
+
+ServiceLevel ChipMemoryModel::locate_and_fill(std::uint64_t addr) {
+  if (l3_.touch(addr)) {
+    l1_.install(addr);
+    // Fill L2 with a clean copy; any dirty state stays with the L3
+    // copy until it is evicted.
+    if (const auto ev2 = l2_.install_line(addr, false)) cast_into_l3(*ev2);
+    return ServiceLevel::kL3Local;
+  }
+  if (config_.victim_l3 && l3_victim_.probe(addr)) {
+    // Victim hit: the line migrates back to the requesting core.
+    const bool dirty = l3_victim_.is_dirty(addr);
+    l3_victim_.invalidate(addr);
+    l1_.install(addr);
+    if (const auto ev2 = l2_.install_line(addr, dirty)) cast_into_l3(*ev2);
+    if (const auto ev3 = l3_.install_line(addr, false))
+      cast_into_victim(*ev3);
+    return ServiceLevel::kL3Remote;
+  }
+  if (config_.l4_enabled && l4_.touch(addr)) {
+    ++counters_.memlink_line_reads;
+    fill_upper(addr);
+    return ServiceLevel::kL4;
+  }
+  // DRAM.  The Centaur allocates the line in its memory-side L4 on
+  // the way through.
+  ++counters_.memlink_line_reads;
+  ++counters_.dram_reads;
+  if (config_.l4_enabled) {
+    if (const auto ev4 = l4_.install_line(addr, /*dirty=*/false);
+        ev4 && ev4->dirty)
+      ++counters_.dram_writes;
+  }
+  fill_upper(addr);
+  return ServiceLevel::kDram;
+}
+
+ServiceLevel ChipMemoryModel::access(std::uint64_t addr) {
+  ++counters_.loads;
+  if (l1_.touch(addr)) return ServiceLevel::kL1;
+  if (l2_.touch(addr)) {
+    l1_.install(addr);
+    return ServiceLevel::kL2;
+  }
+  return locate_and_fill(addr);
+}
+
+ServiceLevel ChipMemoryModel::access_write(std::uint64_t addr) {
+  ++counters_.stores;
+  // Store-through L1: the L1 copy (if any) is updated but never holds
+  // the only dirty copy; the store lands in the store-in L2.
+  l1_.touch(addr);
+  if (l2_.touch(addr)) {
+    l2_.mark_dirty(addr);
+    return ServiceLevel::kL2;
+  }
+  // Write-allocate: fetch the line, then dirty it in L2.
+  const ServiceLevel from = locate_and_fill(addr);
+  l2_.mark_dirty(addr);
+  return from;
+}
+
+ServiceLevel ChipMemoryModel::lookup(std::uint64_t addr) const {
+  if (l1_.probe(addr)) return ServiceLevel::kL1;
+  if (l2_.probe(addr)) return ServiceLevel::kL2;
+  if (l3_.probe(addr)) return ServiceLevel::kL3Local;
+  if (config_.victim_l3 && l3_victim_.probe(addr))
+    return ServiceLevel::kL3Remote;
+  if (config_.l4_enabled && l4_.probe(addr)) return ServiceLevel::kL4;
+  return ServiceLevel::kDram;
+}
+
+void ChipMemoryModel::install_prefetched(std::uint64_t addr) {
+  if (config_.l4_enabled) l4_.install(addr);
+  fill_upper(addr);
+}
+
+void ChipMemoryModel::clear() {
+  l1_.clear();
+  l2_.clear();
+  l3_.clear();
+  l3_victim_.clear();
+  l4_.clear();
+}
+
+}  // namespace p8::sim

@@ -1,0 +1,140 @@
+// The POWER8 on-chip cache hierarchy, seen from one probing core.
+//
+// Models the path an lmbench-style load takes (paper §III-A, Fig. 2):
+//
+//   L1D (64 KB, store-through)
+//   L2  (512 KB, store-in)
+//   local L3 region (8 MB eDRAM, NUCA)
+//   remote L3 regions of the other on-chip cores (victim pool,
+//     (cores-1) x 8 MB) — the shelf between 8 MB and 64 MB in Fig. 2
+//   Centaur L4 (centaurs x 16 MB, memory-side) — the shoulder that
+//     cuts >30 ns off an L3 miss
+//   DRAM
+//
+// The L3 is a victim hierarchy: lines evicted from the local region are
+// cast out laterally into other cores' regions; a hit there migrates
+// the line back.  The L4 is memory-side: it caches everything fetched
+// from DRAM and is not invalidated by on-chip activity.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/spec.hpp"
+#include "sim/cache/cache.hpp"
+
+namespace p8::sim {
+
+enum class ServiceLevel { kL1, kL2, kL3Local, kL3Remote, kL4, kDram };
+
+/// Human-readable name for a service level.
+const char* to_string(ServiceLevel level);
+
+/// Load-to-use latencies for each service level, in nanoseconds.
+/// Values follow the paper's own statements where it makes them
+/// (L4 saves >30 ns over DRAM; local DRAM ~95 ns at the Fig. 2
+/// plateau) and POWER8 documentation for the core-adjacent levels.
+struct HierarchyLatencies {
+  double l1_ns = 0.7;
+  double l2_ns = 2.8;
+  double l3_local_ns = 6.5;
+  double l3_remote_ns = 22.0;
+  double l4_ns = 62.0;
+  double dram_ns = 95.0;
+
+  double of(ServiceLevel level) const;
+};
+
+struct HierarchyConfig {
+  std::uint64_t line_bytes = 128;
+  std::uint64_t l1_bytes = 64 * 1024;
+  unsigned l1_ways = 8;
+  std::uint64_t l2_bytes = 512 * 1024;
+  unsigned l2_ways = 8;
+  std::uint64_t l3_bytes = 8ull << 20;
+  unsigned l3_ways = 8;
+  int chip_cores = 8;       ///< local + (chip_cores-1) victim regions
+  int centaurs = 8;         ///< L4 = centaurs x 16 MB
+  bool victim_l3 = true;    ///< ablation: disable lateral cast-out
+  bool l4_enabled = true;   ///< ablation: no memory-side cache
+  HierarchyLatencies latency;
+
+  /// Builds the geometry for `spec`'s processor with `chip_cores`
+  /// cores and `centaurs` Centaur chips.
+  static HierarchyConfig from_spec(const arch::SystemSpec& spec);
+};
+
+/// Line-granular traffic accounting, including the Centaur link
+/// crossings that the paper's read:write mix analysis (Table III)
+/// is about.
+struct TrafficCounters {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  /// Lines crossing the processor<-Centaur read links (L4 or DRAM
+  /// fills, demand or write-allocate).
+  std::uint64_t memlink_line_reads = 0;
+  /// Dirty lines crossing the processor->Centaur write link.
+  std::uint64_t memlink_line_writes = 0;
+  std::uint64_t l2_writebacks = 0;  ///< dirty L2 evictions into L3
+  std::uint64_t dram_reads = 0;     ///< fills the L4 could not serve
+  std::uint64_t dram_writes = 0;    ///< dirty lines leaving the L4
+
+  /// Read:write byte ratio at the Centaur links.
+  double memlink_read_to_write() const {
+    return memlink_line_writes
+               ? static_cast<double>(memlink_line_reads) /
+                     static_cast<double>(memlink_line_writes)
+               : 0.0;
+  }
+};
+
+class ChipMemoryModel {
+ public:
+  explicit ChipMemoryModel(const HierarchyConfig& config);
+
+  const HierarchyConfig& config() const { return config_; }
+
+  /// Performs one demand load and returns the level that serviced it,
+  /// updating all cache state (fills, victim cast-outs, L4 allocation).
+  ServiceLevel access(std::uint64_t addr);
+
+  /// Performs one store.  POWER8 semantics: the L1 is store-through
+  /// (never holds dirty data); the line is allocated in the store-in
+  /// L2 — on a miss it is *fetched* first (write-allocate, which is
+  /// why pure-store kernels still generate read traffic) — and marked
+  /// dirty there.  Returns the level the allocation came from (kL2 if
+  /// it was already core-adjacent).
+  ServiceLevel access_write(std::uint64_t addr);
+
+  const TrafficCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = TrafficCounters{}; }
+
+  /// Latency, in ns, of a load serviced at `level`.
+  double latency_ns(ServiceLevel level) const {
+    return config_.latency.of(level);
+  }
+
+  /// Probe-only: where would this address hit right now?
+  ServiceLevel lookup(std::uint64_t addr) const;
+
+  /// Installs a line as if it had been prefetched: fills L1/L2/L3
+  /// without counting a demand access.
+  void install_prefetched(std::uint64_t addr);
+
+  void clear();
+
+ private:
+  void fill_upper(std::uint64_t addr);
+  void cast_into_l3(const SetAssocCache::Eviction& line);
+  void cast_into_victim(const SetAssocCache::Eviction& line);
+  ServiceLevel locate_and_fill(std::uint64_t addr);
+
+  HierarchyConfig config_;
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  SetAssocCache l3_;
+  SetAssocCache l3_victim_;  // other cores' regions acting as victims
+  SetAssocCache l4_;
+  TrafficCounters counters_;
+};
+
+}  // namespace p8::sim

@@ -1,0 +1,57 @@
+#include "sim/cache/tlb.hpp"
+
+#include "common/error.hpp"
+
+namespace p8::sim {
+
+namespace {
+
+// The ERAT/TLB are modelled as caches over page-granular "lines":
+// capacity = entries * page_bytes with full associativity for the ERAT.
+SetAssocCache make_erat(const TlbConfig& c) {
+  return SetAssocCache(static_cast<std::uint64_t>(c.erat_entries) * c.page_bytes,
+                       c.erat_entries, c.page_bytes);
+}
+
+SetAssocCache make_tlb(const TlbConfig& c) {
+  return SetAssocCache(static_cast<std::uint64_t>(c.tlb_entries) * c.page_bytes,
+                       c.tlb_ways, c.page_bytes);
+}
+
+}  // namespace
+
+Tlb::Tlb(const TlbConfig& config)
+    : config_(config), erat_(make_erat(config)), tlb_(make_tlb(config)) {
+  P8_REQUIRE(config.erat_entries >= 1 && config.tlb_entries >= 1,
+             "translation structures need at least one entry");
+  P8_REQUIRE(config.tlb_entries % config.tlb_ways == 0,
+             "TLB entries must be a whole number of sets");
+}
+
+TlbOutcome Tlb::translate(std::uint64_t addr) {
+  if (erat_.touch(addr)) return TlbOutcome::kEratHit;
+  const bool tlb_hit = tlb_.touch(addr);
+  erat_.install(addr);
+  if (tlb_hit) return TlbOutcome::kTlbHit;
+  tlb_.install(addr);
+  return TlbOutcome::kWalk;
+}
+
+double Tlb::penalty_ns(TlbOutcome outcome) const {
+  switch (outcome) {
+    case TlbOutcome::kEratHit:
+      return 0.0;
+    case TlbOutcome::kTlbHit:
+      return config_.erat_miss_ns;
+    case TlbOutcome::kWalk:
+      return config_.walk_ns;
+  }
+  return 0.0;
+}
+
+void Tlb::clear() {
+  erat_.clear();
+  tlb_.clear();
+}
+
+}  // namespace p8::sim

@@ -1,0 +1,106 @@
+#include "sim/core/coresim.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace p8::sim {
+
+CoreSim::CoreSim(const CoreSimConfig& config) : config_(config) {
+  P8_REQUIRE(config.core.vsx_pipes >= 1, "core needs a VSX pipe");
+  P8_REQUIRE(config.core.vsx_latency_cycles >= 1, "latency must be positive");
+  P8_REQUIRE(config.rename_stall_cycles >= 0, "stall cannot be negative");
+}
+
+FmaLoopResult CoreSim::run_fma_loop(int threads, int fmas_per_loop,
+                                    std::uint64_t cycles) const {
+  P8_REQUIRE(threads >= 1 && threads <= config_.core.smt_threads,
+             "thread count out of range");
+  P8_REQUIRE(fmas_per_loop >= 1, "need at least one FMA in the loop");
+  P8_REQUIRE(cycles >= 1, "need a positive cycle budget");
+
+  const int pipes = config_.core.vsx_pipes;
+  const int latency = config_.core.vsx_latency_cycles;
+
+  struct Chain {
+    std::int64_t ready_at = 0;
+    int thread = 0;
+  };
+
+  // One chain per (thread, FMA slot).
+  std::vector<Chain> chains;
+  chains.reserve(static_cast<std::size_t>(threads) * fmas_per_loop);
+  for (int t = 0; t < threads; ++t)
+    for (int f = 0; f < fmas_per_loop; ++f) chains.push_back({0, t});
+
+  // Pipe -> indices of chains it may issue.  ST mode (or the ablation)
+  // shares all chains across all pipes; otherwise thread t belongs to
+  // thread-set t % 2 and set s feeds pipe s (pipes beyond 2 would
+  // round-robin, but POWER8 has exactly two symmetric VSX pipes).
+  const bool shared_pool = threads == 1 || !config_.threadset_split;
+  std::vector<std::vector<std::size_t>> pool(
+      static_cast<std::size_t>(pipes));
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    if (shared_pool) {
+      for (auto& p : pool) p.push_back(c);
+    } else {
+      pool[static_cast<std::size_t>(chains[c].thread % pipes)].push_back(c);
+    }
+  }
+
+  // Register spill fraction: accesses beyond the architected file hit
+  // the second-level storage.
+  const int regs = registers_used(threads, fmas_per_loop);
+  const int arch_regs = config_.core.arch_vsx_registers;
+  const double spill_fraction =
+      (config_.unlimited_registers || regs <= arch_regs)
+          ? 0.0
+          : static_cast<double>(regs - arch_regs) / regs;
+
+  std::vector<std::int64_t> pipe_free(static_cast<std::size_t>(pipes), 0);
+  std::vector<std::size_t> rr(static_cast<std::size_t>(pipes), 0);
+  // Error-diffusion accumulator making the spill fraction deterministic.
+  double spill_acc = 0.0;
+
+  const std::int64_t warmup = latency;
+  const std::int64_t horizon = warmup + static_cast<std::int64_t>(cycles);
+  std::uint64_t retired = 0;
+
+  for (std::int64_t cycle = 0; cycle < horizon; ++cycle) {
+    for (int p = 0; p < pipes; ++p) {
+      auto& candidates = pool[static_cast<std::size_t>(p)];
+      if (candidates.empty()) continue;
+      if (pipe_free[static_cast<std::size_t>(p)] > cycle) continue;
+      // Round-robin scan for a ready chain.
+      const std::size_t n = candidates.size();
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t idx =
+            candidates[(rr[static_cast<std::size_t>(p)] + k) % n];
+        Chain& chain = chains[idx];
+        if (chain.ready_at > cycle) continue;
+        int occupancy = 1;
+        spill_acc += spill_fraction;
+        if (spill_acc >= 1.0) {
+          spill_acc -= 1.0;
+          occupancy += config_.rename_stall_cycles;
+        }
+        chain.ready_at = cycle + latency + (occupancy - 1);
+        pipe_free[static_cast<std::size_t>(p)] = cycle + occupancy;
+        rr[static_cast<std::size_t>(p)] =
+            (rr[static_cast<std::size_t>(p)] + k + 1) % n;
+        if (cycle >= warmup) ++retired;
+        break;
+      }
+    }
+  }
+
+  FmaLoopResult result;
+  result.retired = retired;
+  result.cycles = cycles;
+  result.fraction_of_peak =
+      static_cast<double>(retired) /
+      (static_cast<double>(cycles) * static_cast<double>(pipes));
+  return result;
+}
+
+}  // namespace p8::sim

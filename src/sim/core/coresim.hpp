@@ -1,0 +1,72 @@
+// Cycle-level model of the POWER8 core's VSX execution (paper §III-C).
+//
+// The microbenchmark of Figure 5 runs, on each hardware thread, a loop
+// of `n` *independent* FMA instructions; instance k of chain j depends
+// on instance k-1 of the same chain (R1 = R1*R2 + R1), so each chain
+// can have one instruction in flight per `vsx_latency` window.
+//
+// Mechanisms modelled, all taken from the paper's own explanation:
+//
+//  * two symmetric VSX pipes with 6-cycle result latency — saturating
+//    them needs 12 independent FMAs in flight;
+//  * SMT thread-sets: in any multi-threaded mode the threads are split
+//    alternately into two sets and each set issues to its own pipe, so
+//    an odd thread count leaves one pipe under-fed (the odd-SMT dips);
+//    in ST mode the single thread feeds both pipes;
+//  * the two-level VSX register file: 128 architected registers per
+//    core; once the threads' combined register footprint (2 registers
+//    per FMA chain) exceeds 128, the spilled fraction of accesses pays
+//    a structural stall on the issuing pipe — the cliff that bends the
+//    12-FMA curve past 6 threads (12 x 2 x 6 = 144 > 128).
+//
+// The simulator walks cycles explicitly; results are exact for this
+// workload class, not sampled.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/spec.hpp"
+
+namespace p8::sim {
+
+struct CoreSimConfig {
+  arch::CoreSpec core = arch::power8().core;
+  /// Extra pipe-occupancy cycles for an FMA touching the second-level
+  /// (rename) register storage.
+  int rename_stall_cycles = 2;
+  /// Ablation: disable the thread-set split (both pipes draw from a
+  /// single shared pool in every SMT mode).
+  bool threadset_split = true;
+  /// Ablation: pretend the architected register file is unbounded.
+  bool unlimited_registers = false;
+};
+
+struct FmaLoopResult {
+  std::uint64_t retired = 0;
+  std::uint64_t cycles = 0;
+  /// FMAs per cycle divided by the number of pipes (1.0 == peak).
+  double fraction_of_peak = 0.0;
+};
+
+class CoreSim {
+ public:
+  explicit CoreSim(const CoreSimConfig& config = {});
+
+  const CoreSimConfig& config() const { return config_; }
+
+  /// Simulates `threads` hardware threads, each looping over
+  /// `fmas_per_loop` independent FMA chains, for `cycles` core cycles
+  /// (after a warm-up of one latency window).
+  FmaLoopResult run_fma_loop(int threads, int fmas_per_loop,
+                             std::uint64_t cycles = 30000) const;
+
+  /// Registers a run would consume (2 per chain per thread).
+  int registers_used(int threads, int fmas_per_loop) const {
+    return 2 * threads * fmas_per_loop;
+  }
+
+ private:
+  CoreSimConfig config_;
+};
+
+}  // namespace p8::sim

@@ -1,0 +1,80 @@
+#include "sim/machine/latency_probe.hpp"
+
+#include <algorithm>
+
+namespace p8::sim {
+
+LatencyProbe::LatencyProbe(const ProbeConfig& config)
+    : config_(config),
+      tlb_(config.tlb),
+      memory_(config.hierarchy),
+      engine_(config.prefetch) {}
+
+void LatencyProbe::launch(const std::vector<PrefetchRequest>& requests) {
+  for (const auto& req : requests) {
+    const std::uint64_t line = req.line_addr;
+    if (inflight_.count(line)) continue;
+    // The prefetch fills from wherever the line currently lives; a
+    // line already core-adjacent needs no prefetch at all.
+    const ServiceLevel src = memory_.lookup(line);
+    if (src == ServiceLevel::kL1 || src == ServiceLevel::kL2 ||
+        src == ServiceLevel::kL3Local)
+      continue;
+    double fill = memory_.latency_ns(src);
+    if (src == ServiceLevel::kL4 || src == ServiceLevel::kDram)
+      fill += config_.remote_extra_ns;
+    inflight_.emplace(line, now_ns_ + fill);
+  }
+}
+
+AccessTiming LatencyProbe::access(std::uint64_t addr) {
+  const std::uint64_t line =
+      addr / config_.hierarchy.line_bytes * config_.hierarchy.line_bytes;
+
+  AccessTiming t;
+  double latency = tlb_.access_penalty_ns(addr);
+
+  if (const auto it = inflight_.find(line); it != inflight_.end()) {
+    // A prefetch covers this line: pay the residual (if the fill is
+    // still in flight) on top of an L1-adjacent hit.
+    const double residual = std::max(0.0, it->second - now_ns_);
+    latency += config_.hierarchy.latency.l1_ns + residual;
+    t.level = ServiceLevel::kL1;
+    t.prefetched = true;
+    memory_.install_prefetched(line);
+    inflight_.erase(it);
+  } else {
+    const ServiceLevel level = memory_.access(line);
+    double service = memory_.latency_ns(level);
+    if (level == ServiceLevel::kL4 || level == ServiceLevel::kDram)
+      service += config_.remote_extra_ns;
+    latency += service;
+    t.level = level;
+  }
+
+  // Prefetches launch when the demand access is *seen* (its start),
+  // overlapping with the access itself — so even depth 1 hides one
+  // access worth of latency.  The engine never prefetches the current
+  // line, so feeding it before resolution is safe.
+  t.latency_ns = latency;
+  launch(engine_.on_access(line));
+  now_ns_ += latency + config_.compute_per_access_ns;
+  return t;
+}
+
+void LatencyProbe::dcbt_hint(std::uint64_t start, std::uint64_t length_bytes,
+                             bool descending) {
+  launch(engine_.hint_stream(start, length_bytes, descending));
+}
+
+void LatencyProbe::dcbt_stop(std::uint64_t addr) { engine_.hint_stop(addr); }
+
+void LatencyProbe::reset() {
+  tlb_.clear();
+  memory_.clear();
+  engine_.clear();
+  inflight_.clear();
+  now_ns_ = 0.0;
+}
+
+}  // namespace p8::sim

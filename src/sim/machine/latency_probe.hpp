@@ -1,0 +1,81 @@
+// Event-driven latency probe.
+//
+// Replays an address stream — the lmbench-style pointer chase, strided
+// scans, the DCBT random-block walk — against the TLB, the cache
+// hierarchy and the prefetch engine under a virtual clock.  Each
+// demand access is charged:
+//
+//   tlb_penalty + service_latency
+//
+// where the service latency is either the hit level's latency, or, if
+// the line has a prefetch in flight, the *residual* until that
+// prefetch completes.  Prefetches issued at access n for line n+k
+// complete a full memory latency later, so a dependent chase settles
+// at latency/(depth+1) — the steady-state pipelining the paper's
+// Figures 6 and 7 demonstrate.
+//
+// The probe models a single requesting core; multi-core bandwidth is
+// the domain of the analytic solver in sim/mem.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/cache/hierarchy.hpp"
+#include "sim/cache/tlb.hpp"
+#include "sim/prefetch/engine.hpp"
+
+namespace p8::sim {
+
+struct ProbeConfig {
+  HierarchyConfig hierarchy;
+  TlbConfig tlb;
+  PrefetchConfig prefetch;
+  /// Added to L4/DRAM service and prefetch-fill latency when the
+  /// memory being probed is homed on another chip (SMP hops).
+  double remote_extra_ns = 0.0;
+  /// Non-memory work between accesses (0 for a dependent chase).
+  double compute_per_access_ns = 0.0;
+};
+
+/// Per-access outcome.
+struct AccessTiming {
+  double latency_ns = 0.0;       ///< what the load cost
+  ServiceLevel level = ServiceLevel::kDram;  ///< who serviced it
+  bool prefetched = false;       ///< serviced (fully or partly) by prefetch
+};
+
+class LatencyProbe {
+ public:
+  explicit LatencyProbe(const ProbeConfig& config);
+
+  const ProbeConfig& config() const { return config_; }
+
+  /// Performs one demand load and advances the clock.
+  AccessTiming access(std::uint64_t addr);
+
+  /// Issues a DCBT stream hint at the current time (paper §III-D).
+  void dcbt_hint(std::uint64_t start, std::uint64_t length_bytes,
+                 bool descending = false);
+
+  /// DCBT stop for the stream covering addr.
+  void dcbt_stop(std::uint64_t addr);
+
+  double now_ns() const { return now_ns_; }
+
+  /// Resets caches, TLB, engine, clock and in-flight prefetches.
+  void reset();
+
+ private:
+  void launch(const std::vector<PrefetchRequest>& requests);
+
+  ProbeConfig config_;
+  Tlb tlb_;
+  ChipMemoryModel memory_;
+  PrefetchEngine engine_;
+  /// line address -> completion time of its in-flight prefetch.
+  std::unordered_map<std::uint64_t, double> inflight_;
+  double now_ns_ = 0.0;
+};
+
+}  // namespace p8::sim

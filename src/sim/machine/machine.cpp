@@ -1,0 +1,49 @@
+#include "sim/machine/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace p8::sim {
+
+Machine::Machine(const arch::SystemSpec& spec,
+                 const MemBandwidthParams& mem_params,
+                 const NocParams& noc_params)
+    : spec_(spec),
+      topology_(arch::Topology::from_spec(spec)),
+      memory_(spec, mem_params),
+      noc_(topology_, noc_params) {}
+
+Machine Machine::e870() { return Machine(arch::e870()); }
+
+CoreSim Machine::core_sim(const CoreSimConfig& config) const {
+  CoreSimConfig c = config;
+  c.core = spec_.processor.core;
+  return CoreSim(c);
+}
+
+CoreSim Machine::core_sim() const { return core_sim(CoreSimConfig{}); }
+
+LatencyProbe Machine::probe(const ProbeOptions& options) const {
+  P8_REQUIRE(options.consumer_chip >= 0 &&
+                 options.consumer_chip < spec_.total_chips(),
+             "consumer chip out of range");
+  P8_REQUIRE(options.home_chip >= 0 && options.home_chip < spec_.total_chips(),
+             "home chip out of range");
+
+  ProbeConfig config;
+  config.hierarchy = HierarchyConfig::from_spec(spec_);
+  config.hierarchy.victim_l3 = options.victim_l3;
+  config.hierarchy.l4_enabled = options.l4_enabled;
+
+  config.tlb.page_bytes = options.page_bytes;
+
+  config.prefetch.dscr = options.dscr;
+  config.prefetch.stride_n_enabled = options.stride_n;
+  config.prefetch.line_bytes = spec_.processor.cache_line_bytes;
+
+  config.remote_extra_ns =
+      topology_.min_latency_ns(options.home_chip, options.consumer_chip);
+  config.compute_per_access_ns = options.compute_per_access_ns;
+  return LatencyProbe(config);
+}
+
+}  // namespace p8::sim

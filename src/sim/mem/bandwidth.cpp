@@ -1,0 +1,93 @@
+#include "sim/mem/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/prefetch/engine.hpp"
+
+namespace p8::sim {
+
+MemoryBandwidthModel::MemoryBandwidthModel(const arch::SystemSpec& spec,
+                                           const MemBandwidthParams& params)
+    : spec_(spec), params_(params) {
+  P8_REQUIRE(spec.sockets >= 1, "system needs at least one socket");
+}
+
+double MemoryBandwidthModel::read_link_cap_gbs(int chips, RwMix mix) const {
+  const double fr = mix.read_fraction();
+  if (fr <= 0.0) return std::numeric_limits<double>::infinity();
+  const double links =
+      chips * spec_.centaurs_per_chip * spec_.centaur.read_link_gbs;
+  return links * params_.read_link_eff / fr;
+}
+
+double MemoryBandwidthModel::write_link_cap_gbs(int chips, RwMix mix) const {
+  const double fw = mix.write_fraction();
+  if (fw <= 0.0) return std::numeric_limits<double>::infinity();
+  const double fr = mix.read_fraction();
+  // Turnaround interference: worst for balanced mixes (4*fr*fw peaks
+  // at 1 for a 1:1 mix), negligible for one-sided traffic.
+  const double eff =
+      params_.write_link_eff - params_.turnaround_coeff * 4.0 * fr * fw;
+  const double links =
+      chips * spec_.centaurs_per_chip * spec_.centaur.write_link_gbs;
+  return links * std::max(eff, 0.05) / fw;
+}
+
+double MemoryBandwidthModel::fabric_cap_gbs(int chips) const {
+  return chips * params_.chip_fabric_gbs;
+}
+
+double MemoryBandwidthModel::concurrency_cap_gbs(int chips, int cores,
+                                                 int threads,
+                                                 int dscr) const {
+  PrefetchConfig pf;
+  pf.dscr = dscr;
+  // A streaming thread keeps its demand line plus the prefetch depth
+  // in flight; with prefetch off it is demand-only.
+  const int per_thread = 1 + pf.depth_lines();
+  const int per_core =
+      std::min(threads * per_thread, params_.core_stream_mlp);
+  const double line = static_cast<double>(spec_.processor.cache_line_bytes);
+  const double per_core_gbs =
+      per_core * line / params_.stream_latency_ns;  // bytes/ns == GB/s
+  return chips * cores * per_core_gbs;
+}
+
+double MemoryBandwidthModel::stream_gbs(int chips, int cores, int threads,
+                                        RwMix mix, int dscr) const {
+  P8_REQUIRE(chips >= 1 && chips <= spec_.total_chips(), "chip count");
+  P8_REQUIRE(cores >= 1 && cores <= spec_.cores_per_chip, "core count");
+  P8_REQUIRE(threads >= 1 && threads <= spec_.processor.core.smt_threads,
+             "thread count");
+  P8_REQUIRE(mix.read >= 0 && mix.write >= 0 && mix.read + mix.write > 0,
+             "mix must have traffic");
+  double bw = concurrency_cap_gbs(chips, cores, threads, dscr);
+  bw = std::min(bw, read_link_cap_gbs(chips, mix));
+  bw = std::min(bw, write_link_cap_gbs(chips, mix));
+  bw = std::min(bw, fabric_cap_gbs(chips));
+  return bw;
+}
+
+double MemoryBandwidthModel::system_stream_gbs(RwMix mix) const {
+  return stream_gbs(spec_.total_chips(), spec_.cores_per_chip,
+                    spec_.processor.core.smt_threads, mix);
+}
+
+double MemoryBandwidthModel::random_gbs(int chips, int cores, int threads,
+                                        int streams) const {
+  P8_REQUIRE(chips >= 1 && cores >= 1 && threads >= 1 && streams >= 1,
+             "all counts must be positive");
+  const double line = static_cast<double>(spec_.processor.cache_line_bytes);
+  const int per_core = std::min(threads * streams, params_.core_random_mlp);
+  // Demand-limited raw throughput at the unloaded latency...
+  const double raw =
+      chips * cores * per_core * line / params_.random_latency_ns;
+  // ...approaching the row-activate service bound along the standard
+  // closed-network interpolation.
+  const double cap = chips * params_.random_row_cap_gbs;
+  return cap * (1.0 - std::exp(-raw / cap));
+}
+
+}  // namespace p8::sim

@@ -1,0 +1,213 @@
+#include "sim/noc/noc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+#include "sim/prefetch/engine.hpp"
+
+namespace p8::sim {
+
+NocModel::NocModel(const arch::Topology& topology, const NocParams& params)
+    : topology_(topology), params_(params) {
+  P8_REQUIRE(params.max_routes_inter_group >= 1, "need at least one route");
+}
+
+double NocModel::usable_link_cap_gbs(int link_id) const {
+  return topology_.link(link_id).gbs_per_direction * params_.link_protocol_eff;
+}
+
+double NocModel::route_capacity_gbs(const arch::Route& route) const {
+  double min_cap = std::numeric_limits<double>::infinity();
+  for (const auto& hop : route)
+    min_cap = std::min(min_cap, usable_link_cap_gbs(hop.link));
+  // Each intermediate chip re-spends capacity downstream.
+  const double amp =
+      std::pow(params_.hop_amplification,
+               static_cast<double>(route.size()) - 1.0);
+  return min_cap / amp;
+}
+
+std::vector<arch::Route> NocModel::routes_for(int home, int consumer,
+                                              bool direct_only) const {
+  auto all = topology_.routes(home, consumer);
+  P8_REQUIRE(!all.empty(), "no route (home == consumer?)");
+  const bool intra =
+      topology_.group_of(home) == topology_.group_of(consumer);
+  const std::size_t use =
+      direct_only || intra
+          ? 1
+          : std::min<std::size_t>(all.size(),
+                                  static_cast<std::size_t>(
+                                      params_.max_routes_inter_group));
+  all.resize(use);
+  return all;
+}
+
+double NocModel::max_uniform_flow_gbs(const std::vector<FlowSpec>& flows,
+                                      bool direct_only,
+                                      double ingest_weight) const {
+  P8_REQUIRE(!flows.empty(), "no flows");
+  P8_REQUIRE(ingest_weight >= 0.0 && ingest_weight <= 1.0,
+             "ingest weight is a fraction");
+
+  struct FlowState {
+    FlowSpec spec;
+    std::vector<arch::Route> routes;
+    std::vector<double> fraction;
+  };
+  std::vector<FlowState> states;
+  states.reserve(flows.size());
+  for (const auto& flow : flows) {
+    P8_REQUIRE(flow.home != flow.consumer,
+               "local flows do not use the interconnect");
+    FlowState s;
+    s.spec = flow;
+    s.routes = routes_for(flow.home, flow.consumer, direct_only);
+    // Initial striping proportional to standalone route capacity.
+    double total = 0.0;
+    for (const auto& r : s.routes) {
+      s.fraction.push_back(route_capacity_gbs(r));
+      total += s.fraction.back();
+    }
+    for (auto& f : s.fraction) f /= total;
+    states.push_back(std::move(s));
+  }
+
+  // Directed-link load per unit of flow value.  Key: (link id, a->b?).
+  using LinkKey = std::pair<int, bool>;
+  auto accumulate_loads = [&](std::map<LinkKey, double>& load) {
+    load.clear();
+    for (const auto& s : states) {
+      for (std::size_t r = 0; r < s.routes.size(); ++r) {
+        double amp = 1.0;
+        for (const auto& hop : s.routes[r]) {
+          const bool fwd = hop.from == topology_.link(hop.link).chip_a;
+          load[{hop.link, fwd}] += s.fraction[r] * amp;
+          // Read requests travel against the data.
+          load[{hop.link, !fwd}] +=
+              s.fraction[r] * amp * params_.request_overhead;
+          amp *= params_.hop_amplification;
+        }
+      }
+    }
+  };
+
+  // Damped rebalancing: multi-route flows shift striping toward the
+  // less stressed of their routes, modelling congestion-aware
+  // spreading by the fabric.
+  std::map<LinkKey, double> load;
+  for (int iter = 0; iter < 24; ++iter) {
+    accumulate_loads(load);
+    bool changed = false;
+    for (auto& s : states) {
+      if (s.routes.size() < 2) continue;
+      std::vector<double> target(s.routes.size());
+      double total = 0.0;
+      for (std::size_t r = 0; r < s.routes.size(); ++r) {
+        double stress = 0.0;
+        double amp = 1.0;
+        for (const auto& hop : s.routes[r]) {
+          const bool fwd = hop.from == topology_.link(hop.link).chip_a;
+          stress = std::max(
+              stress, load[{hop.link, fwd}] * amp /
+                          (s.fraction[r] > 0 ? 1.0 : 1.0) /
+                          usable_link_cap_gbs(hop.link));
+          amp *= params_.hop_amplification;
+        }
+        target[r] = 1.0 / std::max(stress, 1e-9);
+        total += target[r];
+      }
+      for (std::size_t r = 0; r < s.routes.size(); ++r) {
+        const double t = target[r] / total;
+        if (std::abs(t - s.fraction[r]) > 1e-4) changed = true;
+        s.fraction[r] = 0.5 * s.fraction[r] + 0.5 * t;
+      }
+    }
+    if (!changed) break;
+  }
+  accumulate_loads(load);
+
+  double v = std::numeric_limits<double>::infinity();
+  for (const auto& [key, coeff] : load) {
+    if (coeff <= 0.0) continue;
+    v = std::min(v, usable_link_cap_gbs(key.first) / coeff);
+  }
+  std::vector<double> ingest(static_cast<std::size_t>(topology_.chips()), 0.0);
+  for (const auto& s : states)
+    ingest[static_cast<std::size_t>(s.spec.consumer)] += ingest_weight;
+  for (std::size_t chip = 0; chip < ingest.size(); ++chip) {
+    if (ingest[chip] > 0.0)
+      v = std::min(v, params_.ingest_cap_gbs / ingest[chip]);
+  }
+  return v;
+}
+
+double NocModel::one_direction_gbs(int a, int b) const {
+  return max_uniform_flow_gbs({{b, a}});
+}
+
+double NocModel::bidirection_gbs(int a, int b) const {
+  return 2.0 * max_uniform_flow_gbs({{b, a}, {a, b}});
+}
+
+double NocModel::interleaved_to_chip_gbs(int dst) const {
+  std::vector<FlowSpec> flows;
+  for (int chip = 0; chip < topology_.chips(); ++chip)
+    if (chip != dst) flows.push_back({chip, dst});
+  return static_cast<double>(flows.size()) * max_uniform_flow_gbs(flows);
+}
+
+double NocModel::all_to_all_gbs() const {
+  std::vector<FlowSpec> flows;
+  for (int home = 0; home < topology_.chips(); ++home)
+    for (int consumer = 0; consumer < topology_.chips(); ++consumer)
+      if (home != consumer) flows.push_back({home, consumer});
+  return static_cast<double>(flows.size()) * max_uniform_flow_gbs(flows);
+}
+
+double NocModel::xbus_aggregate_gbs() const {
+  // The benchmark mixes reads and writes so every X link saturates in
+  // both directions without bottlenecking any one chip's ingest.
+  std::vector<FlowSpec> flows;
+  for (int home = 0; home < topology_.chips(); ++home)
+    for (int consumer = 0; consumer < topology_.chips(); ++consumer)
+      if (home != consumer &&
+          topology_.group_of(home) == topology_.group_of(consumer))
+        flows.push_back({home, consumer});
+  P8_REQUIRE(!flows.empty(), "no intra-group pairs");
+  return static_cast<double>(flows.size()) *
+         max_uniform_flow_gbs(flows, /*direct_only=*/false,
+                              /*ingest_weight=*/0.5);
+}
+
+double NocModel::abus_aggregate_gbs() const {
+  std::vector<FlowSpec> flows;
+  for (int chip = 0; chip < topology_.chips(); ++chip) {
+    const int partner = topology_.partner_of(chip);
+    if (partner >= 0) flows.push_back({chip, partner});
+  }
+  P8_REQUIRE(!flows.empty(), "single-group system has no A-buses");
+  return static_cast<double>(flows.size()) *
+         max_uniform_flow_gbs(flows, /*direct_only=*/true,
+                              /*ingest_weight=*/0.5);
+}
+
+double NocModel::memory_latency_ns(int consumer, int home) const {
+  return params_.local_dram_latency_ns +
+         topology_.min_latency_ns(home, consumer);
+}
+
+double NocModel::memory_latency_prefetched_ns(int consumer, int home,
+                                              int dscr) const {
+  PrefetchConfig pf;
+  pf.dscr = dscr;
+  const int depth = pf.depth_lines();
+  // Steady-state residual of a prefetched sequential scan: the engine
+  // pipelines depth+1 line fills.
+  return memory_latency_ns(consumer, home) / (depth + 1);
+}
+
+}  // namespace p8::sim

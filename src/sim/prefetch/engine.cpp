@@ -1,0 +1,198 @@
+#include "sim/prefetch/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace p8::sim {
+
+int PrefetchConfig::depth_lines() const {
+  // DSCR 1 disables prefetch; 2..7 deepen roughly geometrically; the
+  // hardware default (0) sits near the deep end, matching the paper's
+  // observation that default sequential prefetch already hides nearly
+  // all of the DRAM latency (Table IV "w/ prefetching").
+  switch (dscr) {
+    case 1:
+      return 0;
+    case 2:
+      return 1;
+    case 3:
+      return 2;
+    case 4:
+      return 3;
+    case 5:
+      return 4;
+    case 6:
+      return 6;
+    case 7:
+      return 8;
+    case 0:
+    default:
+      return 8;
+  }
+}
+
+PrefetchEngine::PrefetchEngine(const PrefetchConfig& config)
+    : config_(config), streams_(config.max_streams) {
+  P8_REQUIRE(config.max_streams >= 1, "need at least one stream slot");
+  P8_REQUIRE(config.dscr >= 0 && config.dscr <= 7, "DSCR must be 0..7");
+  P8_REQUIRE(config.confirm_touches >= 1, "need at least one confirmation");
+}
+
+void PrefetchEngine::issue_ahead(Stream& s, std::vector<PrefetchRequest>& out) {
+  const int depth = std::min(config_.depth_lines(), s.ramp);
+  if (depth == 0 || s.stride == 0) return;
+  // Keep the ramped run-ahead in flight beyond the demand pointer.
+  for (int k = 1; k <= depth; ++k) {
+    const std::int64_t line = s.last_line + s.stride * k;
+    // Skip lines already covered by the high-water mark.
+    if (s.stride > 0 ? line <= s.high_water : line >= s.high_water) continue;
+    if (s.end_line >= 0) {
+      if (s.stride > 0 && line >= s.end_line) break;
+      if (s.stride < 0 && line <= s.end_line) break;
+    }
+    if (line < 0) break;
+    out.push_back({static_cast<std::uint64_t>(line) * config_.line_bytes});
+    s.high_water = line;
+  }
+}
+
+PrefetchEngine::Stream* PrefetchEngine::find_stream(std::int64_t line) {
+  // Match a stream whose next expected line (or current line) is this
+  // one.  Unconfirmed streams (stride unknown) match any nearby line.
+  for (auto& s : streams_) {
+    if (!s.valid) continue;
+    if (line == s.last_line) return &s;
+    if (s.stride != 0 && line == s.last_line + s.stride) return &s;
+    if (s.stride == 0) {
+      const std::int64_t delta = line - s.last_line;
+      if (delta != 0 && std::abs(delta) <= config_.max_stride_lines)
+        return &s;
+    }
+  }
+  return nullptr;
+}
+
+PrefetchEngine::Stream& PrefetchEngine::allocate_stream() {
+  Stream* victim = &streams_[0];
+  for (auto& s : streams_) {
+    if (!s.valid) {
+      victim = &s;
+      break;
+    }
+    if (s.lru < victim->lru) victim = &s;
+  }
+  *victim = Stream{};
+  victim->valid = true;
+  return *victim;
+}
+
+std::vector<PrefetchRequest> PrefetchEngine::on_access(std::uint64_t addr) {
+  std::vector<PrefetchRequest> out;
+  if (config_.depth_lines() == 0) return out;
+
+  const std::int64_t line =
+      static_cast<std::int64_t>(addr / config_.line_bytes);
+  ++clock_;
+
+  Stream* s = find_stream(line);
+  if (s == nullptr) {
+    Stream& fresh = allocate_stream();
+    fresh.last_line = line;
+    fresh.high_water = line;
+    fresh.lru = clock_;
+    return out;
+  }
+  s->lru = clock_;
+  if (line == s->last_line) return out;  // same-line re-touch
+
+  const std::int64_t delta = line - s->last_line;
+  const bool stride_ok =
+      config_.stride_n_enabled ? std::abs(delta) <= config_.max_stride_lines
+                               : std::abs(delta) == 1;
+
+  if (s->stride == 0) {
+    // First advance: adopt the stride if the detector accepts it.
+    if (!stride_ok) {
+      s->last_line = line;
+      return out;
+    }
+    s->stride = delta;
+    s->confirmations = 1;
+  } else if (delta == s->stride) {
+    ++s->confirmations;
+  } else {
+    // Broken pattern: restart detection from here.
+    s->stride = stride_ok ? delta : 0;
+    s->confirmations = stride_ok ? 1 : 0;
+    s->engaged = false;
+    s->ramp = 0;
+    s->last_line = line;
+    s->high_water = line;
+    return out;
+  }
+
+  s->last_line = line;
+  if (!s->engaged && s->confirmations >= config_.confirm_touches) {
+    s->engaged = true;
+    s->ramp = 1;
+  }
+  if (s->engaged) {
+    s->ramp = std::min(s->ramp + 1, config_.depth_lines());
+    if (s->stride > 0)
+      s->high_water = std::max(s->high_water, line);
+    else
+      s->high_water = std::min(s->high_water, line);
+    issue_ahead(*s, out);
+  }
+  return out;
+}
+
+std::vector<PrefetchRequest> PrefetchEngine::hint_stream(
+    std::uint64_t start, std::uint64_t length_bytes, bool descending) {
+  std::vector<PrefetchRequest> out;
+  if (config_.depth_lines() == 0 || length_bytes == 0) return out;
+  ++clock_;
+  Stream& s = allocate_stream();
+  const std::int64_t first =
+      static_cast<std::int64_t>(start / config_.line_bytes);
+  const std::int64_t lines = static_cast<std::int64_t>(
+      (length_bytes + config_.line_bytes - 1) / config_.line_bytes);
+  s.stride = descending ? -1 : 1;
+  s.engaged = true;
+  s.ramp = config_.depth_lines();  // the whole point of the hint
+  s.confirmations = config_.confirm_touches;
+  // Position the stream one step *before* the first element so the
+  // initial burst covers the start of the array.
+  s.last_line = first - s.stride;
+  s.high_water = s.last_line;
+  s.end_line = descending ? first - lines : first + lines;
+  s.lru = clock_;
+  issue_ahead(s, out);
+  return out;
+}
+
+void PrefetchEngine::hint_stop(std::uint64_t addr) {
+  const std::int64_t line =
+      static_cast<std::int64_t>(addr / config_.line_bytes);
+  for (auto& s : streams_) {
+    if (!s.valid) continue;
+    // The stream covering `addr`: its demand pointer is at or around it.
+    if (std::abs(s.last_line - line) <= std::abs(s.stride) + 1 ||
+        s.high_water == line)
+      s = Stream{};
+  }
+}
+
+void PrefetchEngine::clear() {
+  for (auto& s : streams_) s = Stream{};
+  clock_ = 0;
+}
+
+unsigned PrefetchEngine::active_streams() const {
+  unsigned n = 0;
+  for (const auto& s : streams_) n += s.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace p8::sim

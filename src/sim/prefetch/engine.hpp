@@ -1,0 +1,107 @@
+// Hardware data-prefetch engine model (paper §III-D).
+//
+// POWER8's prefetcher tracks up to a few dozen load streams.  A stream
+// is allocated on a miss and must be *confirmed* by consecutive
+// accesses at a fixed line stride before the engine engages; once
+// engaged it runs ahead of the demand stream by a configurable depth.
+// Three software controls are modelled:
+//
+//  * DSCR depth — values 1 (prefetch off) through 7 (deepest), plus 0
+//    for the hardware default.  Depth sets how many lines ahead the
+//    engine keeps in flight (Fig. 6).
+//  * DSCR stride-N enable — by default only unit-stride (in cache
+//    lines) streams are confirmed; with stride-N detection on, any
+//    constant stride confirms (Fig. 7).
+//  * DCBT "touch stream" hints — software declares a stream's start,
+//    direction and length, installing it fully engaged so the ramp-up
+//    misses are skipped.  This is what rescues short-array scans
+//    (Fig. 8).
+//
+// The engine is event driven: the latency probe reports each demand
+// access with a timestamp, and the engine returns the prefetches to
+// launch.  The probe models completion (a prefetch becomes usable
+// `fill_latency` after issue), so partially-covered accesses pay the
+// residual — reproducing the ~latency/(depth+1) pipelining behaviour
+// of a pointer-advance loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace p8::sim {
+
+struct PrefetchConfig {
+  /// DSCR depth encoding: 0 = hardware default, 1 = disabled,
+  /// 2..7 = increasingly deep.
+  int dscr = 0;
+  bool stride_n_enabled = false;
+  unsigned max_streams = 16;
+  /// Confirmations (consecutive constant-stride accesses after the
+  /// allocating miss) required before the engine engages.
+  int confirm_touches = 2;
+  std::uint64_t line_bytes = 128;
+  /// Largest stride (in lines) the stride-N detector will lock onto.
+  std::int64_t max_stride_lines = 512;
+
+  /// Lines kept in flight ahead of the demand pointer for this DSCR.
+  int depth_lines() const;
+};
+
+/// A prefetch the engine wants issued.
+struct PrefetchRequest {
+  std::uint64_t line_addr = 0;
+};
+
+class PrefetchEngine {
+ public:
+  explicit PrefetchEngine(const PrefetchConfig& config);
+
+  const PrefetchConfig& config() const { return config_; }
+
+  /// Reports a demand access to `addr`; returns the prefetches to
+  /// issue now.  Line-granular: consecutive accesses to the same line
+  /// do not advance streams.
+  std::vector<PrefetchRequest> on_access(std::uint64_t addr);
+
+  /// DCBT stream hint: declares that [start, start + length_bytes)
+  /// will be scanned in the given direction.  Installs a fully-engaged
+  /// stream and returns the initial burst of prefetches.
+  std::vector<PrefetchRequest> hint_stream(std::uint64_t start,
+                                           std::uint64_t length_bytes,
+                                           bool descending = false);
+
+  /// DCBT stop hint: tears down the stream covering `addr`, freeing
+  /// its slot.
+  void hint_stop(std::uint64_t addr);
+
+  void clear();
+
+  /// Streams currently tracked (for tests).
+  unsigned active_streams() const;
+
+ private:
+  struct Stream {
+    bool valid = false;
+    bool engaged = false;
+    std::int64_t last_line = 0;    // last demand line observed
+    std::int64_t stride = 0;       // lines per step; 0 = unknown
+    int confirmations = 0;
+    /// Current run-ahead distance.  Hardware-detected streams ramp up
+    /// one step per confirmed access (the "kicks in too late on small
+    /// arrays" effect of §III-D); DCBT installs streams fully ramped.
+    int ramp = 0;
+    std::int64_t high_water = 0;   // furthest line prefetched
+    std::int64_t end_line = -1;    // exclusive bound from DCBT, -1 = none
+    std::uint64_t lru = 0;
+  };
+
+  void issue_ahead(Stream& s, std::vector<PrefetchRequest>& out);
+  Stream* find_stream(std::int64_t line);
+  Stream& allocate_stream();
+
+  PrefetchConfig config_;
+  std::vector<Stream> streams_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace p8::sim

@@ -1,0 +1,173 @@
+#include "ubench/workloads.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace p8::ubench {
+
+namespace {
+
+/// Sattolo's algorithm: a uniformly random single-cycle permutation of
+/// [0, n) — the standard way to build a pointer-chase chain in which
+/// every element is visited exactly once per lap.
+std::vector<std::uint32_t> single_cycle_permutation(std::uint64_t n,
+                                                    std::uint64_t seed) {
+  P8_REQUIRE(n >= 1, "empty permutation");
+  std::vector<std::uint32_t> next(n);
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  common::Xoshiro256 rng(seed);
+  for (std::uint64_t i = n - 1; i >= 1; --i) {
+    const std::uint64_t j = rng.bounded(i);  // j in [0, i)
+    std::swap(order[i], order[j]);
+  }
+  for (std::uint64_t i = 0; i < n; ++i)
+    next[order[i]] = order[(i + 1) % n];
+  return next;
+}
+
+}  // namespace
+
+double chase_latency_ns(const sim::Machine& machine,
+                        const ChaseOptions& options) {
+  const std::uint64_t line = machine.spec().processor.cache_line_bytes;
+  const std::uint64_t lines = std::max<std::uint64_t>(
+      1, options.working_set_bytes / line);
+
+  sim::ProbeOptions probe_options;
+  probe_options.page_bytes = options.page_bytes;
+  probe_options.dscr = options.dscr;
+  probe_options.stride_n = options.stride_n;
+  probe_options.home_chip = options.home_chip;
+  probe_options.consumer_chip = options.consumer_chip;
+  sim::LatencyProbe probe = machine.probe(probe_options);
+
+  // Build the chase chain: next[i] is the line visited after line i.
+  std::vector<std::uint32_t> next;
+  switch (options.pattern) {
+    case ChasePattern::kRandom:
+      next = single_cycle_permutation(lines, options.seed);
+      break;
+    case ChasePattern::kForwardStride:
+    case ChasePattern::kBackwardStride: {
+      // lmbench's strided chain: walk every stride-th line, then the
+      // next offset, until every line is covered exactly once per lap.
+      P8_REQUIRE(options.stride_lines >= 1, "stride must be positive");
+      std::vector<std::uint32_t> order;
+      order.reserve(lines);
+      for (std::uint64_t offset = 0;
+           offset < options.stride_lines && offset < lines; ++offset)
+        for (std::uint64_t i = offset; i < lines; i += options.stride_lines)
+          order.push_back(static_cast<std::uint32_t>(i));
+      if (options.pattern == ChasePattern::kBackwardStride)
+        std::reverse(order.begin(), order.end());
+      next.resize(lines);
+      for (std::uint64_t k = 0; k < lines; ++k)
+        next[order[k]] = order[(k + 1) % lines];
+      break;
+    }
+  }
+
+  // Warm: enough laps to reach the steady-state cache distribution.
+  std::uint64_t pos = 0;
+  const std::uint64_t warm = std::min<std::uint64_t>(
+      options.warm_accesses, 2 * lines);
+  for (std::uint64_t i = 0; i < warm; ++i) {
+    probe.access(pos * line);
+    pos = next[pos];
+  }
+
+  const std::uint64_t measure =
+      std::max<std::uint64_t>(1, std::min(options.measure_accesses, lines));
+  const double t0 = probe.now_ns();
+  for (std::uint64_t i = 0; i < measure; ++i) {
+    probe.access(pos * line);
+    pos = next[pos];
+  }
+  return (probe.now_ns() - t0) / static_cast<double>(measure);
+}
+
+std::vector<LatencyPoint> memory_latency_scan(
+    const sim::Machine& machine, const std::vector<std::uint64_t>& sizes,
+    std::uint64_t page_bytes, int dscr) {
+  std::vector<LatencyPoint> out;
+  out.reserve(sizes.size());
+  for (const std::uint64_t ws : sizes) {
+    ChaseOptions options;
+    options.working_set_bytes = ws;
+    options.page_bytes = page_bytes;
+    options.dscr = dscr;
+    out.push_back({ws, chase_latency_ns(machine, options)});
+  }
+  return out;
+}
+
+double stride_latency_ns(const sim::Machine& machine,
+                         const StrideOptions& options) {
+  P8_REQUIRE(options.stride_lines >= 1, "stride must be positive");
+  const std::uint64_t line = machine.spec().processor.cache_line_bytes;
+
+  sim::ProbeOptions probe_options;
+  probe_options.page_bytes = options.page_bytes;
+  probe_options.dscr = options.dscr;
+  probe_options.stride_n = options.stride_n;
+  sim::LatencyProbe probe = machine.probe(probe_options);
+
+  // Scan forward touching every stride_lines-th line; the footprint is
+  // unbounded (each line touched once), so every access is a DRAM miss
+  // unless the prefetcher covers it.
+  std::uint64_t addr = 0;
+  const std::uint64_t step = options.stride_lines * line;
+  // Skip the ramp-up so we report the steady state, like the figure.
+  const std::uint64_t skip = options.accesses / 10;
+  double t0 = 0.0;
+  for (std::uint64_t i = 0; i < options.accesses; ++i) {
+    if (i == skip) t0 = probe.now_ns();
+    probe.access(addr);
+    addr += step;
+  }
+  return (probe.now_ns() - t0) /
+         static_cast<double>(options.accesses - skip);
+}
+
+double dcbt_block_bandwidth_gbs(const sim::Machine& machine,
+                                const DcbtOptions& options) {
+  const std::uint64_t line = machine.spec().processor.cache_line_bytes;
+  P8_REQUIRE(options.block_bytes >= line, "block smaller than a line");
+  const std::uint64_t lines_per_block = options.block_bytes / line;
+  const std::uint64_t blocks =
+      std::max<std::uint64_t>(1, options.total_bytes / options.block_bytes);
+
+  sim::ProbeOptions probe_options;
+  probe_options.page_bytes = options.page_bytes;
+  probe_options.dscr = options.dscr;
+  sim::LatencyProbe probe = machine.probe(probe_options);
+
+  // Random visiting order over blocks.
+  std::vector<std::uint64_t> order(blocks);
+  std::iota(order.begin(), order.end(), 0ull);
+  common::Xoshiro256 rng(options.seed);
+  for (std::uint64_t i = blocks - 1; i >= 1; --i) {
+    const std::uint64_t j = rng.bounded(i + 1);
+    std::swap(order[i], order[j]);
+  }
+
+  const double t0 = probe.now_ns();
+  std::uint64_t bytes = 0;
+  for (const std::uint64_t b : order) {
+    const std::uint64_t base = b * options.block_bytes;
+    if (options.use_dcbt) probe.dcbt_hint(base, options.block_bytes);
+    for (std::uint64_t l = 0; l < lines_per_block; ++l)
+      probe.access(base + l * line);
+    if (options.use_dcbt)
+      probe.dcbt_stop(base + (lines_per_block - 1) * line);
+    bytes += options.block_bytes;
+  }
+  const double elapsed_ns = probe.now_ns() - t0;
+  return static_cast<double>(bytes) / elapsed_ns;  // bytes/ns == GB/s
+}
+
+}  // namespace p8::ubench

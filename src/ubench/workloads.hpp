@@ -1,0 +1,95 @@
+// Microbenchmark workloads (paper §III) as drivers for the machine
+// model.  Each function replays the access pattern of one of the
+// paper's experiments through a LatencyProbe and reports what the
+// paper reported.
+//
+//  * memory_latency_scan   — lmbench-style randomized pointer chase
+//                            over a working set (Fig. 2, Fig. 6 lat).
+//  * stride_latency        — stride-N chase (Fig. 7).
+//  * dcbt_block_scan       — random blocks scanned sequentially inside,
+//                            with/without DCBT stream hints (Fig. 8).
+//
+// Bandwidth-oriented experiments (Table III, Fig. 3, Fig. 4, Fig. 6
+// bandwidth) use the analytic MemoryBandwidthModel directly; the
+// drivers for those live in the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine/machine.hpp"
+
+namespace p8::ubench {
+
+/// Chain layout for the pointer chase, mirroring lmbench's choices:
+/// a random single-cycle permutation (the default; defeats any
+/// prefetcher) or forward/backward strided chains (which a stream
+/// prefetcher can detect when enabled).
+enum class ChasePattern {
+  kRandom,
+  kForwardStride,
+  kBackwardStride,
+};
+
+struct ChaseOptions {
+  std::uint64_t working_set_bytes = 1 << 20;
+  std::uint64_t page_bytes = 64 * 1024;
+  int dscr = 1;  ///< 1 = prefetch off, the lmbench configuration
+  bool stride_n = false;
+  int home_chip = 0;
+  int consumer_chip = 0;
+  ChasePattern pattern = ChasePattern::kRandom;
+  /// Chain stride in cache lines for the strided patterns.
+  std::uint64_t stride_lines = 1;
+  /// Accesses used to warm the hierarchy before measuring (capped at
+  /// the working-set size internally).
+  std::uint64_t warm_accesses = 4u << 20;
+  std::uint64_t measure_accesses = 1u << 20;
+  std::uint64_t seed = 42;
+};
+
+/// Average load-to-use latency of a randomized pointer chase (every
+/// element on its own cache line, Sattolo single-cycle permutation —
+/// the lmbench lat_mem_rd setup with hardware prefetch disabled).
+double chase_latency_ns(const sim::Machine& machine,
+                        const ChaseOptions& options);
+
+/// A full Fig. 2-style scan: latency at each working-set size.
+struct LatencyPoint {
+  std::uint64_t working_set_bytes = 0;
+  double latency_ns = 0.0;
+};
+std::vector<LatencyPoint> memory_latency_scan(
+    const sim::Machine& machine, const std::vector<std::uint64_t>& sizes,
+    std::uint64_t page_bytes, int dscr = 1);
+
+struct StrideOptions {
+  std::uint64_t stride_lines = 256;   ///< paper uses a stride-256 stream
+  std::uint64_t accesses = 200000;
+  std::uint64_t page_bytes = 16ull << 20;  ///< huge pages: isolate prefetch
+  int dscr = 7;
+  bool stride_n = false;
+};
+
+/// Average latency of a strided sequential scan (Fig. 7): only every
+/// `stride_lines`-th cache line is touched.
+double stride_latency_ns(const sim::Machine& machine,
+                         const StrideOptions& options);
+
+struct DcbtOptions {
+  std::uint64_t block_bytes = 2048;
+  std::uint64_t total_bytes = 16ull << 20;
+  bool use_dcbt = false;
+  int dscr = 0;  ///< hardware default prefetching stays on
+  std::uint64_t page_bytes = 16ull << 20;
+  std::uint64_t seed = 7;
+};
+
+/// Achieved read bandwidth (GB/s, single thread) of the random-block
+/// sequential scan of Fig. 8.  Blocks are visited in random order;
+/// lines inside a block are scanned sequentially; with `use_dcbt` a
+/// stream hint is issued at each block start and stopped at its end.
+double dcbt_block_bandwidth_gbs(const sim::Machine& machine,
+                                const DcbtOptions& options);
+
+}  // namespace p8::ubench

@@ -1,0 +1,457 @@
+// Tests for the graph/sparse substrate: CSR construction, transpose,
+// R-MAT generation, the synthetic matrix suite and the structure
+// statistics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "common/threading.hpp"
+#include "graph/csr.hpp"
+#include "graph/io.hpp"
+#include "graph/matrices.hpp"
+#include "graph/rmat.hpp"
+#include "graph/spgemm.hpp"
+#include "graph/stats.hpp"
+
+namespace p8::graph {
+namespace {
+
+// -------------------------------------------------------------------- CSR --
+
+TEST(Csr, FromTripletsSortsAndStores) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, 4, {{2, 1, 5.0}, {0, 3, 1.0}, {0, 0, 2.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_TRUE(m.well_formed());
+  ASSERT_EQ(m.row_cols(0).size(), 2u);
+  EXPECT_EQ(m.row_cols(0)[0], 0u);
+  EXPECT_EQ(m.row_cols(0)[1], 3u);
+  EXPECT_DOUBLE_EQ(m.row_values(0)[0], 2.0);
+  EXPECT_EQ(m.row_nnz(1), 0u);
+  EXPECT_EQ(m.row_cols(2)[0], 1u);
+}
+
+TEST(Csr, DuplicatesAreSummed) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, 2, {{0, 1, 1.5}, {0, 1, 2.5}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.row_values(0)[0], 4.0);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::from_triplets(5, 5, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_TRUE(m.well_formed());
+  for (std::uint32_t r = 0; r < 5; ++r) EXPECT_EQ(m.row_nnz(r), 0u);
+}
+
+TEST(Csr, OutOfRangeTripletRejected) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{0, 2, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Csr, TransposeSmallKnown) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  const CsrMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_TRUE(t.well_formed());
+  EXPECT_DOUBLE_EQ(t.row_values(0)[0], 1.0);
+  EXPECT_EQ(t.row_cols(1)[0], 1u);
+  EXPECT_DOUBLE_EQ(t.row_values(2)[0], 2.0);
+}
+
+TEST(Csr, TransposeIsInvolution) {
+  const CsrMatrix m = random_uniform(200, 5, 99);
+  const CsrMatrix tt = m.transposed().transposed();
+  ASSERT_EQ(tt.nnz(), m.nnz());
+  for (std::uint32_t r = 0; r < m.rows(); ++r) {
+    const auto a = m.row_cols(r);
+    const auto b = tt.row_cols(r);
+    ASSERT_EQ(a.size(), b.size()) << "row " << r;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k], b[k]);
+      EXPECT_DOUBLE_EQ(m.row_values(r)[k], tt.row_values(r)[k]);
+    }
+  }
+}
+
+TEST(Csr, MemoryBytesAccounting) {
+  const CsrMatrix m = random_uniform(100, 4, 1);
+  EXPECT_EQ(m.memory_bytes(),
+            101 * sizeof(std::uint64_t) + m.nnz() * (4 + 8));
+}
+
+// ------------------------------------------------------------------ graph --
+
+TEST(Graph, FromEdgesSymmetrizesAndCleans) {
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 1}, {1, 0}, {2, 2}, {1, 2}};
+  const Graph g = graph_from_edges(3, edges);
+  EXPECT_EQ(g.vertices(), 3u);
+  EXPECT_EQ(g.edges(), 2u);  // {0,1} deduped, {2,2} dropped
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  // Symmetry.
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(2)[0], 1u);
+}
+
+TEST(Graph, MultiEdgesClampToOne) {
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 1}, {0, 1}, {0, 1}};
+  const Graph g = graph_from_edges(2, edges);
+  EXPECT_EQ(g.edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.adjacency.row_values(0)[0], 1.0);
+}
+
+// ------------------------------------------------------------------- RMAT --
+
+TEST(Rmat, EdgeCountMatchesSpec) {
+  RmatOptions o;
+  o.scale = 10;
+  o.edge_factor = 16;
+  EXPECT_EQ(rmat_edges(o).size(), (1u << 10) * 16u);
+}
+
+TEST(Rmat, DeterministicBySeed) {
+  RmatOptions o;
+  o.scale = 8;
+  const auto a = rmat_edges(o);
+  const auto b = rmat_edges(o);
+  EXPECT_EQ(a, b);
+  o.seed = 2;
+  EXPECT_NE(rmat_edges(o), a);
+}
+
+TEST(Rmat, VerticesInRange) {
+  RmatOptions o;
+  o.scale = 9;
+  for (const auto& [u, v] : rmat_edges(o)) {
+    EXPECT_LT(u, 1u << 9);
+    EXPECT_LT(v, 1u << 9);
+  }
+}
+
+TEST(Rmat, GraphIsHeavyTailed) {
+  RmatOptions o;
+  o.scale = 12;
+  const Graph g = rmat_graph(o);
+  const DegreeStats s = degree_stats(g.adjacency);
+  // Graph500 parameters produce a strongly skewed degree profile.
+  EXPECT_GT(s.gini, 0.45);
+  EXPECT_GT(s.top1_percent_share, 0.08);
+  EXPECT_GT(s.max, 40 * static_cast<std::uint64_t>(s.mean));
+}
+
+TEST(Rmat, UniformQuadrantsAreNotHeavyTailed) {
+  RmatOptions o;
+  o.scale = 12;
+  o.a = o.b = o.c = 0.25;
+  const DegreeStats s = degree_stats(rmat_graph(o).adjacency);
+  EXPECT_LT(s.gini, 0.25);
+}
+
+TEST(Rmat, PermutationPreservesStructureNotLayout) {
+  RmatOptions o;
+  o.scale = 10;
+  o.permute_vertices = false;
+  const auto fixed = rmat_graph(o);
+  o.permute_vertices = true;
+  const auto shuffled = rmat_graph(o);
+  // Same scale-free character either way.
+  EXPECT_NEAR(degree_stats(fixed.adjacency).gini,
+              degree_stats(shuffled.adjacency).gini, 0.1);
+  // Without permutation R-MAT hubs concentrate at low ids, giving a
+  // small normalized bandwidth contribution difference; just check
+  // both are valid graphs.
+  EXPECT_TRUE(fixed.adjacency.well_formed());
+  EXPECT_TRUE(shuffled.adjacency.well_formed());
+}
+
+TEST(Rmat, Validation) {
+  RmatOptions o;
+  o.scale = 0;
+  EXPECT_THROW(rmat_edges(o), std::invalid_argument);
+  o.scale = 8;
+  o.a = 1.1;
+  EXPECT_THROW(rmat_edges(o), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- generators --
+
+TEST(Matrices, DenseIsDense) {
+  const CsrMatrix m = dense_matrix(50);
+  EXPECT_EQ(m.nnz(), 2500u);
+  EXPECT_TRUE(m.well_formed());
+}
+
+TEST(Matrices, LatticeSevenPoint) {
+  const CsrMatrix m = lattice_3d(8, 8, 8, 7);
+  EXPECT_EQ(m.rows(), 512u);
+  // Periodic 7-point: exactly 7 nnz per row.
+  for (std::uint32_t r = 0; r < m.rows(); ++r)
+    EXPECT_EQ(m.row_nnz(r), 7u);
+}
+
+TEST(Matrices, LatticeTwentySevenPoint) {
+  const CsrMatrix m = lattice_3d(6, 6, 6, 27);
+  for (std::uint32_t r = 0; r < m.rows(); ++r)
+    EXPECT_EQ(m.row_nnz(r), 27u);
+}
+
+TEST(Matrices, FemIsBanded) {
+  const CsrMatrix m = fem_banded(2000, 3, 12, 40, 7);
+  EXPECT_LT(normalized_bandwidth(m), 0.05);
+  EXPECT_TRUE(m.well_formed());
+}
+
+TEST(Matrices, RandomUniformIsNot) {
+  const CsrMatrix m = random_uniform(2000, 8, 7);
+  EXPECT_GT(normalized_bandwidth(m), 0.2);
+}
+
+TEST(Matrices, PowerLawIsSkewed) {
+  const CsrMatrix m = power_law(20000, 5.0, 2.1, 3);
+  const DegreeStats s = degree_stats(m);
+  EXPECT_GT(s.gini, 0.5);
+  EXPECT_NEAR(s.mean, 5.0, 1.5);
+}
+
+TEST(Matrices, LpIsRectangularWithHeavyRows) {
+  const CsrMatrix m = lp_rectangular(1024, 8192, 10, 5);
+  EXPECT_EQ(m.rows(), 1024u);
+  EXPECT_EQ(m.cols(), 8192u);
+  const DegreeStats s = degree_stats(m);
+  EXPECT_GT(s.max, 8 * static_cast<std::uint64_t>(s.mean));
+}
+
+TEST(Matrices, SuiteHasFourteenEntries) {
+  const auto suite = figure11_suite(0.1);
+  ASSERT_EQ(suite.size(), 14u);
+  EXPECT_EQ(suite.front().name, "Dense");
+  EXPECT_EQ(suite.back().name, "LP");
+  for (const auto& e : suite) {
+    EXPECT_TRUE(e.matrix.well_formed()) << e.name;
+    EXPECT_GT(e.matrix.nnz(), 0u) << e.name;
+  }
+}
+
+TEST(Matrices, SuiteScalesWithFactor) {
+  const auto small = figure11_suite(0.05);
+  const auto larger = figure11_suite(0.1);
+  // The generators with scalable dimensions must grow.
+  EXPECT_GT(larger[1].matrix.nnz(), small[1].matrix.nnz());
+}
+
+// ------------------------------------------------------------------ stats --
+
+TEST(Stats, UniformDegreesGiniZero) {
+  const CsrMatrix m = lattice_3d(6, 6, 6, 7);
+  EXPECT_NEAR(degree_stats(m).gini, 0.0, 0.01);
+}
+
+TEST(Stats, KnownSkew) {
+  // 3 rows: lengths 0, 0, 10 -> strongly unequal.
+  std::vector<Triplet> t;
+  for (std::uint32_t c = 0; c < 10; ++c) t.push_back({2, c, 1.0});
+  const CsrMatrix m = CsrMatrix::from_triplets(3, 10, std::move(t));
+  EXPECT_GT(degree_stats(m).gini, 0.6);
+  EXPECT_EQ(degree_stats(m).max, 10u);
+  EXPECT_EQ(degree_stats(m).min, 0u);
+}
+
+// ----------------------------------------------------------------- spgemm --
+
+common::ThreadPool& spgemm_pool() {
+  static common::ThreadPool p(3);
+  return p;
+}
+
+TEST(Spgemm, IdentityIsNeutral) {
+  const CsrMatrix a = random_uniform(50, 4, 17);
+  std::vector<Triplet> eye;
+  for (std::uint32_t i = 0; i < 50; ++i) eye.push_back({i, i, 1.0});
+  const CsrMatrix identity = CsrMatrix::from_triplets(50, 50, std::move(eye));
+  const CsrMatrix left = spgemm(identity, a, spgemm_pool());
+  const CsrMatrix right = spgemm(a, identity, spgemm_pool());
+  for (std::uint32_t r = 0; r < 50; ++r) {
+    ASSERT_EQ(left.row_nnz(r), a.row_nnz(r));
+    ASSERT_EQ(right.row_nnz(r), a.row_nnz(r));
+    for (std::size_t k = 0; k < a.row_nnz(r); ++k) {
+      EXPECT_DOUBLE_EQ(left.row_values(r)[k], a.row_values(r)[k]);
+      EXPECT_DOUBLE_EQ(right.row_values(r)[k], a.row_values(r)[k]);
+    }
+  }
+}
+
+TEST(Spgemm, MatchesDenseReference) {
+  const CsrMatrix a = random_uniform(40, 5, 3);
+  const CsrMatrix b = random_uniform(40, 5, 4);
+  const CsrMatrix c = spgemm(a, b, spgemm_pool());
+  // Dense reference.
+  std::vector<double> dense(40 * 40, 0.0);
+  for (std::uint32_t i = 0; i < 40; ++i)
+    for (std::size_t ka = 0; ka < a.row_nnz(i); ++ka) {
+      const std::uint32_t k = a.row_cols(i)[ka];
+      for (std::size_t kb = 0; kb < b.row_nnz(k); ++kb)
+        dense[i * 40 + b.row_cols(k)[kb]] +=
+            a.row_values(i)[ka] * b.row_values(k)[kb];
+    }
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    for (std::uint32_t j = 0; j < 40; ++j) {
+      const double want = dense[i * 40 + j];
+      double got = 0.0;
+      const auto cols = c.row_cols(i);
+      for (std::size_t k = 0; k < cols.size(); ++k)
+        if (cols[k] == j) got = c.row_values(i)[k];
+      EXPECT_NEAR(got, want, 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(Spgemm, RectangularChain) {
+  const CsrMatrix a = lp_rectangular(30, 100, 4, 5);   // 30 x 100
+  const CsrMatrix b = lp_rectangular(100, 20, 3, 6);   // 100 x 20
+  const CsrMatrix c = spgemm(a, b, spgemm_pool());
+  EXPECT_EQ(c.rows(), 30u);
+  EXPECT_EQ(c.cols(), 20u);
+  EXPECT_TRUE(c.well_formed());
+}
+
+TEST(Spgemm, DimensionMismatchRejected) {
+  const CsrMatrix a = random_uniform(10, 2, 1);
+  const CsrMatrix b = random_uniform(11, 2, 1);
+  EXPECT_THROW(spgemm(a, b, spgemm_pool()), std::invalid_argument);
+}
+
+TEST(Spgemm, SquaringAdjacencyCountsPaths) {
+  // Path 0-1-2 (undirected): A^2 counts 2-walks; (A^2)[0][2] = 1.
+  const Graph g = graph_from_edges(3, std::vector<std::pair<std::uint32_t, std::uint32_t>>{{0, 1}, {1, 2}});
+  const CsrMatrix a2 = spgemm(g.adjacency, g.adjacency, spgemm_pool());
+  double zero_two = 0.0;
+  const auto cols = a2.row_cols(0);
+  for (std::size_t k = 0; k < cols.size(); ++k)
+    if (cols[k] == 2) zero_two = a2.row_values(0)[k];
+  EXPECT_DOUBLE_EQ(zero_two, 1.0);  // the common neighbor count of §V-A
+}
+
+TEST(Spgemm, FlopEstimate) {
+  const CsrMatrix a = random_uniform(100, 4, 7);
+  EXPECT_EQ(spgemm_flops(a, a) % 1, 0u);
+  EXPECT_GT(spgemm_flops(a, a), a.nnz());
+}
+
+TEST(Spgemm, ChunkSizeInvariant) {
+  const CsrMatrix a = random_uniform(200, 6, 8);
+  SpgemmOptions small;
+  small.row_chunk = 1;
+  SpgemmOptions large;
+  large.row_chunk = 1000;
+  const CsrMatrix c1 = spgemm(a, a, spgemm_pool(), small);
+  const CsrMatrix c2 = spgemm(a, a, spgemm_pool(), large);
+  ASSERT_EQ(c1.nnz(), c2.nnz());
+  for (std::uint32_t r = 0; r < 200; ++r)
+    for (std::size_t k = 0; k < c1.row_nnz(r); ++k)
+      EXPECT_DOUBLE_EQ(c1.row_values(r)[k], c2.row_values(r)[k]);
+}
+
+// --------------------------------------------------------------------- io --
+
+TEST(MatrixMarket, ReadsGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 2\n"
+      "1 1 2.5\n"
+      "3 4 -1\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.row_values(0)[0], 2.5);
+  EXPECT_EQ(m.row_cols(2)[0], 3u);
+}
+
+TEST(MatrixMarket, SymmetricExpandsBothTriangles) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "2 1 5.0\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 3u);  // diagonal once, off-diagonal twice
+  EXPECT_DOUBLE_EQ(m.row_values(0)[1], 5.0);
+  EXPECT_DOUBLE_EQ(m.row_values(1)[0], 5.0);
+}
+
+TEST(MatrixMarket, PatternGetsUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "2 2\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(m.row_values(1)[0], 1.0);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  const CsrMatrix original = random_uniform(60, 5, 3);
+  std::stringstream buffer;
+  write_matrix_market(buffer, original);
+  const CsrMatrix back = read_matrix_market(buffer);
+  ASSERT_EQ(back.nnz(), original.nnz());
+  ASSERT_EQ(back.rows(), original.rows());
+  for (std::uint32_t r = 0; r < original.rows(); ++r) {
+    const auto a = original.row_cols(r);
+    const auto b = back.row_cols(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k], b[k]);
+      EXPECT_DOUBLE_EQ(original.row_values(r)[k], back.row_values(r)[k]);
+    }
+  }
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  std::istringstream no_banner("3 3 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(no_banner), std::invalid_argument);
+
+  std::istringstream bad_field(
+      "%%MatrixMarket matrix coordinate complex general\n2 2 0\n");
+  EXPECT_THROW(read_matrix_market(bad_field), std::invalid_argument);
+
+  std::istringstream out_of_bounds(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(out_of_bounds), std::invalid_argument);
+
+  std::istringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(truncated), std::invalid_argument);
+}
+
+TEST(MatrixMarket, FileHelpers) {
+  const CsrMatrix m = random_uniform(20, 3, 9);
+  const std::string path = "/tmp/p8repro_io_test.mtx";
+  write_matrix_market_file(path, m);
+  const CsrMatrix back = read_matrix_market_file(path);
+  EXPECT_EQ(back.nnz(), m.nnz());
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/x.mtx"),
+               std::invalid_argument);
+}
+
+TEST(Stats, BandwidthOfDiagonalIsZero) {
+  std::vector<Triplet> t;
+  for (std::uint32_t i = 0; i < 64; ++i) t.push_back({i, i, 1.0});
+  const CsrMatrix m = CsrMatrix::from_triplets(64, 64, std::move(t));
+  EXPECT_DOUBLE_EQ(normalized_bandwidth(m), 0.0);
+}
+
+}  // namespace
+}  // namespace p8::graph

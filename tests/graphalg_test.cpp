@@ -1,0 +1,198 @@
+// Tests for the SpMV-based ranking algorithms (PageRank, HITS, random
+// walk with restart).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/rmat.hpp"
+#include "graphalg/ranking.hpp"
+
+namespace p8::graphalg {
+namespace {
+
+common::ThreadPool& pool() {
+  static common::ThreadPool p(3);
+  return p;
+}
+
+graph::CsrMatrix directed(std::uint32_t n,
+                          std::initializer_list<std::pair<int, int>> edges) {
+  std::vector<graph::Triplet> t;
+  for (const auto& [u, v] : edges)
+    t.push_back({static_cast<std::uint32_t>(u),
+                 static_cast<std::uint32_t>(v), 1.0});
+  return graph::CsrMatrix::from_triplets(n, n, std::move(t));
+}
+
+double sum(std::span<const double> v) {
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s;
+}
+
+// ---------------------------------------------------- TransitionOperator --
+
+TEST(Transition, ColumnsAreStochastic) {
+  const auto a = directed(3, {{0, 1}, {0, 2}, {1, 2}});
+  const TransitionOperator op(a);
+  // Column j of T sums to 1 for non-dangling j: check via apply on
+  // basis vectors.
+  std::vector<double> x(3, 0.0);
+  std::vector<double> y(3);
+  x[0] = 1.0;
+  op.apply(x, y, pool());
+  EXPECT_NEAR(sum(y), 1.0, 1e-12);
+  EXPECT_NEAR(y[1], 0.5, 1e-12);
+  EXPECT_NEAR(y[2], 0.5, 1e-12);
+}
+
+TEST(Transition, DanglingMassRedistributed) {
+  // Vertex 2 has no out-edges.
+  const auto a = directed(3, {{0, 2}, {1, 2}});
+  const TransitionOperator op(a);
+  ASSERT_EQ(op.dangling().size(), 1u);
+  EXPECT_EQ(op.dangling()[0], 2u);
+  std::vector<double> x{0.0, 0.0, 1.0};
+  std::vector<double> y(3);
+  op.apply(x, y, pool());
+  for (const double v : y) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+// ------------------------------------------------------------- PageRank ---
+
+TEST(PageRank, TwoNodeCycleIsUniform) {
+  const auto a = directed(2, {{0, 1}, {1, 0}});
+  const auto r = pagerank(TransitionOperator(a), pool());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.scores[0], 0.5, 1e-9);
+  EXPECT_NEAR(r.scores[1], 0.5, 1e-9);
+}
+
+TEST(PageRank, ScoresSumToOne) {
+  graph::RmatOptions o;
+  o.scale = 10;
+  o.edge_factor = 8;
+  const auto a = graph::rmat_adjacency(o);
+  const auto r = pagerank(TransitionOperator(a), pool());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(sum(r.scores), 1.0, 1e-8);
+}
+
+TEST(PageRank, HubReceivesMoreRank) {
+  // Everyone points to vertex 0; vertex 0 points back to 1 only.
+  const auto a = directed(4, {{1, 0}, {2, 0}, {3, 0}, {0, 1}});
+  const auto r = pagerank(TransitionOperator(a), pool());
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.scores[0], r.scores[2]);
+  EXPECT_GT(r.scores[1], r.scores[2]);  // fed by the hub
+  EXPECT_NEAR(r.scores[2], r.scores[3], 1e-10);
+}
+
+TEST(PageRank, ClassicThreePageExample) {
+  // A->B, A->C, B->C, C->A (a standard worked example).
+  const auto a = directed(3, {{0, 1}, {0, 2}, {1, 2}, {2, 0}});
+  const auto r = pagerank(TransitionOperator(a), pool());
+  ASSERT_TRUE(r.converged);
+  // C collects from both A and B and must rank first; A (fed by C)
+  // second; B last.
+  EXPECT_GT(r.scores[2], r.scores[0]);
+  EXPECT_GT(r.scores[0], r.scores[1]);
+  // Known fixed point (d = 0.85): approximately 0.3878/0.2148/0.3974.
+  EXPECT_NEAR(r.scores[0], 0.3878, 3e-3);
+  EXPECT_NEAR(r.scores[1], 0.2148, 3e-3);
+  EXPECT_NEAR(r.scores[2], 0.3974, 3e-3);
+}
+
+TEST(PageRank, DanglingGraphStillSumsToOne) {
+  const auto a = directed(4, {{0, 1}, {1, 2}, {2, 3}});  // 3 dangles
+  const auto r = pagerank(TransitionOperator(a), pool());
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(sum(r.scores), 1.0, 1e-8);
+}
+
+TEST(PageRank, DampingValidation) {
+  const auto a = directed(2, {{0, 1}, {1, 0}});
+  PowerIterOptions bad;
+  bad.damping = 1.0;
+  EXPECT_THROW(pagerank(TransitionOperator(a), pool(), bad),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ RWR ---
+
+TEST(Rwr, SeedScoresHighest) {
+  graph::RmatOptions o;
+  o.scale = 9;
+  o.edge_factor = 8;
+  const auto a = graph::rmat_adjacency(o);
+  const TransitionOperator op(a);
+  const std::uint32_t seed = 5;
+  const auto r = random_walk_with_restart(op, seed, pool());
+  ASSERT_TRUE(r.converged);
+  const auto best =
+      std::max_element(r.scores.begin(), r.scores.end()) - r.scores.begin();
+  EXPECT_EQ(static_cast<std::uint32_t>(best), seed);
+}
+
+TEST(Rwr, ProximityOrdersScores) {
+  // Path 0 -> 1 -> 2 -> 3: from seed 0, closer vertices score higher.
+  const auto a = directed(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto r = random_walk_with_restart(TransitionOperator(a), 0, pool());
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.scores[0], r.scores[1]);
+  EXPECT_GT(r.scores[1], r.scores[2]);
+  EXPECT_GT(r.scores[2], r.scores[3]);
+}
+
+TEST(Rwr, SeedValidation) {
+  const auto a = directed(2, {{0, 1}, {1, 0}});
+  EXPECT_THROW(
+      random_walk_with_restart(TransitionOperator(a), 7, pool()),
+      std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- HITS ---
+
+TEST(Hits, BipartiteHubsAndAuthorities) {
+  // 0 and 1 point at 2 and 3: pure hubs vs pure authorities.
+  const auto a = directed(4, {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  const auto r = hits(a, pool());
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.hubs[0], 0.1);
+  EXPECT_NEAR(r.hubs[0], r.hubs[1], 1e-9);
+  EXPECT_NEAR(r.hubs[2], 0.0, 1e-9);
+  EXPECT_GT(r.authorities[2], 0.1);
+  EXPECT_NEAR(r.authorities[2], r.authorities[3], 1e-9);
+  EXPECT_NEAR(r.authorities[0], 0.0, 1e-9);
+}
+
+TEST(Hits, VectorsAreUnitNorm) {
+  graph::RmatOptions o;
+  o.scale = 9;
+  const auto a = graph::rmat_adjacency(o);
+  const auto r = hits(a, pool());
+  double h = 0.0;
+  double au = 0.0;
+  for (const double v : r.hubs) h += v * v;
+  for (const double v : r.authorities) au += v * v;
+  EXPECT_NEAR(h, 1.0, 1e-9);
+  EXPECT_NEAR(au, 1.0, 1e-9);
+}
+
+TEST(Hits, PointingAtAnAuthorityMakesAHub) {
+  // 0 -> {1, 2, 3}; 4 -> 1.  Vertex 0 links to everything and must be
+  // the top hub; 1 gets two in-links and tops authority.
+  const auto a = directed(5, {{0, 1}, {0, 2}, {0, 3}, {4, 1}});
+  const auto r = hits(a, pool());
+  const auto top_hub =
+      std::max_element(r.hubs.begin(), r.hubs.end()) - r.hubs.begin();
+  const auto top_auth =
+      std::max_element(r.authorities.begin(), r.authorities.end()) -
+      r.authorities.begin();
+  EXPECT_EQ(top_hub, 0);
+  EXPECT_EQ(top_auth, 1);
+}
+
+}  // namespace
+}  // namespace p8::graphalg

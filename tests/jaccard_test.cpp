@@ -1,0 +1,358 @@
+// Tests for the all-pairs Jaccard similarity kernel.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/stats.hpp"
+#include "graph/rmat.hpp"
+#include "graph/spgemm.hpp"
+#include "jaccard/jaccard.hpp"
+#include "jaccard/minhash.hpp"
+
+namespace p8::jaccard {
+namespace {
+
+graph::Graph path_graph(std::uint32_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return graph::graph_from_edges(n, edges);
+}
+
+graph::Graph clique(std::uint32_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u < n; ++u)
+    for (std::uint32_t v = u + 1; v < n; ++v) edges.push_back({u, v});
+  return graph::graph_from_edges(n, edges);
+}
+
+graph::Graph star(std::uint32_t leaves) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t v = 1; v <= leaves; ++v) edges.push_back({0, v});
+  return graph::graph_from_edges(leaves + 1, edges);
+}
+
+std::map<std::pair<std::uint32_t, std::uint32_t>, double> as_map(
+    const Result& r) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> out;
+  const auto& m = r.similarities;
+  for (std::uint32_t i = 0; i < m.rows(); ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      out[{i, cols[k]}] = vals[k];
+  }
+  return out;
+}
+
+TEST(PairSimilarity, PathEndpointsShareMiddle) {
+  // 0-1-2: N(0)={1}, N(2)={1} -> J = 1/1.
+  const auto g = path_graph(3);
+  EXPECT_DOUBLE_EQ(pair_similarity(g, 0, 2), 1.0);
+}
+
+TEST(PairSimilarity, AdjacentPathVerticesShareNothing) {
+  // N(0)={1}, N(1)={0,2}: intersection empty.
+  const auto g = path_graph(3);
+  EXPECT_DOUBLE_EQ(pair_similarity(g, 0, 1), 0.0);
+}
+
+TEST(PairSimilarity, CliqueValue) {
+  // In K4: N(i) and N(j) share the other 2 vertices; union has 4
+  // elements (i and j are in each other's neighborhoods).
+  const auto g = clique(4);
+  EXPECT_DOUBLE_EQ(pair_similarity(g, 0, 1), 2.0 / 4.0);
+}
+
+TEST(PairSimilarity, StarLeaves) {
+  // Leaves share the hub exactly: J = 1.
+  const auto g = star(5);
+  EXPECT_DOUBLE_EQ(pair_similarity(g, 1, 2), 1.0);
+  // Hub vs leaf: N(hub) = leaves, N(leaf) = {hub}: disjoint.
+  EXPECT_DOUBLE_EQ(pair_similarity(g, 0, 1), 0.0);
+}
+
+TEST(AllPairs, MatchesBruteForceOnRmat) {
+  graph::RmatOptions o;
+  o.scale = 8;
+  o.edge_factor = 6;
+  const auto g = graph::rmat_graph(o);
+  common::ThreadPool pool(4);
+  const auto result = all_pairs(g, pool);
+  const auto got = as_map(result);
+
+  // Brute force over all pairs.
+  std::size_t expected_pairs = 0;
+  for (std::uint32_t i = 0; i < g.vertices(); ++i)
+    for (std::uint32_t j = i + 1; j < g.vertices(); ++j) {
+      const double want = pair_similarity(g, i, j);
+      const auto it = got.find({i, j});
+      if (want > 0.0) {
+        ++expected_pairs;
+        ASSERT_NE(it, got.end()) << i << "," << j;
+        EXPECT_NEAR(it->second, want, 1e-12);
+      } else {
+        EXPECT_EQ(it, got.end()) << i << "," << j;
+      }
+    }
+  EXPECT_EQ(got.size(), expected_pairs);
+}
+
+TEST(AllPairs, UpperTriangleOnly) {
+  const auto g = clique(6);
+  common::ThreadPool pool(2);
+  const auto result = all_pairs(g, pool);
+  const auto& m = result.similarities;
+  for (std::uint32_t i = 0; i < m.rows(); ++i)
+    for (const std::uint32_t j : m.row_cols(i)) EXPECT_GT(j, i);
+}
+
+TEST(AllPairs, CliquePairCount) {
+  const auto g = clique(8);
+  common::ThreadPool pool(2);
+  const auto result = all_pairs(g, pool);
+  EXPECT_EQ(result.similarities.nnz(), 8u * 7 / 2);
+}
+
+TEST(AllPairs, MinSimilarityFilters) {
+  graph::RmatOptions o;
+  o.scale = 8;
+  o.edge_factor = 6;
+  const auto g = graph::rmat_graph(o);
+  common::ThreadPool pool(2);
+  Options strict;
+  strict.min_similarity = 0.5;
+  const auto all = all_pairs(g, pool);
+  const auto filtered = all_pairs(g, pool, strict);
+  EXPECT_LT(filtered.similarities.nnz(), all.similarities.nnz());
+  for (std::uint32_t i = 0; i < filtered.similarities.rows(); ++i)
+    for (const double v : filtered.similarities.row_values(i))
+      EXPECT_GE(v, 0.5);
+}
+
+TEST(AllPairs, OutputBytesReported) {
+  const auto g = clique(16);
+  common::ThreadPool pool(2);
+  const auto result = all_pairs(g, pool);
+  EXPECT_EQ(result.output_bytes, result.similarities.memory_bytes());
+  EXPECT_GT(result.pairs_evaluated, 0u);
+}
+
+TEST(AllPairs, OutputLargerThanInputOnScaleFree) {
+  // The Figure 10 phenomenon: the similarity matrix dwarfs the graph.
+  graph::RmatOptions o;
+  o.scale = 10;
+  o.edge_factor = 8;
+  const auto g = graph::rmat_graph(o);
+  common::ThreadPool pool(4);
+  const auto result = all_pairs(g, pool);
+  EXPECT_GT(result.output_bytes, 2 * g.adjacency.memory_bytes());
+}
+
+TEST(AllPairs, SimilaritiesAreProbabilities) {
+  graph::RmatOptions o;
+  o.scale = 9;
+  const auto g = graph::rmat_graph(o);
+  common::ThreadPool pool(2);
+  const auto result = all_pairs(g, pool);
+  for (std::uint32_t i = 0; i < result.similarities.rows(); ++i)
+    for (const double v : result.similarities.row_values(i)) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(AllPairs, EmptyGraph) {
+  const graph::Graph g = graph::graph_from_edges(10, {});
+  common::ThreadPool pool(2);
+  const auto result = all_pairs(g, pool);
+  EXPECT_EQ(result.similarities.nnz(), 0u);
+}
+
+TEST(AllPairs, AgreesWithAdjacencySquaring) {
+  // §V-A's framing: common-neighbor counts are the entries of A^2.
+  // Rebuild the similarities from the general SpGEMM and compare.
+  graph::RmatOptions o;
+  o.scale = 9;
+  o.edge_factor = 8;
+  const auto g = graph::rmat_graph(o);
+  common::ThreadPool pool(3);
+  const auto direct = as_map(all_pairs(g, pool));
+
+  const graph::CsrMatrix a2 =
+      graph::spgemm(g.adjacency, g.adjacency, pool);
+  std::size_t checked = 0;
+  for (std::uint32_t i = 0; i < a2.rows(); ++i) {
+    const auto cols = a2.row_cols(i);
+    const auto vals = a2.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const std::uint32_t j = cols[k];
+      if (j <= i) continue;  // upper triangle, off-diagonal
+      const double common = vals[k];
+      const double uni = static_cast<double>(g.degree(i)) +
+                         static_cast<double>(g.degree(j)) - common;
+      const auto it = direct.find({i, j});
+      ASSERT_NE(it, direct.end()) << i << "," << j;
+      EXPECT_NEAR(it->second, common / uni, 1e-12);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, direct.size());
+}
+
+TEST(AllPairs, StaticScheduleSameResultWorseBalance) {
+  graph::RmatOptions o;
+  o.scale = 10;
+  o.edge_factor = 8;
+  const auto g = graph::rmat_graph(o);
+  common::ThreadPool pool(8);
+  Options dynamic;
+  // Chunks must be small relative to rows/worker for dynamic
+  // scheduling to balance (1024 rows over 8 workers here).
+  dynamic.row_chunk = 8;
+  Options fixed;
+  fixed.dynamic_schedule = false;
+  const auto a = all_pairs(g, pool, dynamic);
+  const auto b = all_pairs(g, pool, fixed);
+  // Identical mathematics...
+  EXPECT_EQ(as_map(a), as_map(b));
+  // ...but the static split's largest task dwarfs the dynamic chunks
+  // on a power-law input (SpGEMM row work is quadratic in degree).
+  EXPECT_GT(b.max_task_share, 2.0 * a.max_task_share);
+  EXPECT_LT(a.max_task_share, 1.0);
+  EXPECT_GT(b.max_task_share, 1.0);
+}
+
+// ---------------------------------------------------------------- minhash --
+
+TEST(MinHash, IdenticalSetsAgreeEverywhere) {
+  // Two leaves of a star share exactly the hub: J = 1, so every
+  // signature position must collide.
+  const auto g = star(6);
+  common::ThreadPool pool(2);
+  const MinHash mh(64);
+  const auto sig = mh.signatures(g, pool);
+  const std::span<const std::uint64_t> s(sig);
+  EXPECT_DOUBLE_EQ(
+      MinHash::estimate(s.subspan(1 * 64, 64), s.subspan(2 * 64, 64)), 1.0);
+}
+
+TEST(MinHash, DisjointSetsRarelyAgree) {
+  // Two disconnected edges: N(0)={1}, N(2)={3}: J = 0.
+  const auto g = graph::graph_from_edges(
+      4, std::vector<std::pair<std::uint32_t, std::uint32_t>>{{0, 1},
+                                                              {2, 3}});
+  common::ThreadPool pool(2);
+  const MinHash mh(128);
+  const auto sig = mh.signatures(g, pool);
+  const std::span<const std::uint64_t> s(sig);
+  EXPECT_LT(
+      MinHash::estimate(s.subspan(0 * 128, 128), s.subspan(2 * 128, 128)),
+      0.05);
+}
+
+TEST(MinHash, EstimateTracksExactSimilarity) {
+  graph::RmatOptions o;
+  o.scale = 9;
+  o.edge_factor = 10;
+  const auto g = graph::rmat_graph(o);
+  common::ThreadPool pool(2);
+  const MinHash mh(256);
+  const auto sig = mh.signatures(g, pool);
+  const std::span<const std::uint64_t> s(sig);
+  // Sample vertex pairs with meaningful exact similarity and check the
+  // estimator's error (stddev ~ sqrt(J(1-J)/k) ~ 0.03 at k=256).
+  common::RunningStats error;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    for (std::uint32_t j = i + 1; j < i + 6 && j < g.vertices(); ++j) {
+      if (g.degree(i) == 0 || g.degree(j) == 0) continue;
+      const double exact = pair_similarity(g, i, j);
+      const double approx =
+          MinHash::estimate(s.subspan(i * 256, 256), s.subspan(j * 256, 256));
+      error.add(std::abs(exact - approx));
+    }
+  }
+  EXPECT_LT(error.mean(), 0.05);
+  EXPECT_LT(error.max(), 0.2);
+}
+
+TEST(MinHash, DeterministicBySeed) {
+  const auto g = star(4);
+  common::ThreadPool pool(2);
+  EXPECT_EQ(MinHash(32, 5).signatures(g, pool),
+            MinHash(32, 5).signatures(g, pool));
+  EXPECT_NE(MinHash(32, 5).signatures(g, pool),
+            MinHash(32, 6).signatures(g, pool));
+}
+
+TEST(MinHash, Validation) {
+  EXPECT_THROW(MinHash(0), std::invalid_argument);
+  std::vector<std::uint64_t> a(4);
+  std::vector<std::uint64_t> b(5);
+  EXPECT_THROW(MinHash::estimate(a, b), std::invalid_argument);
+}
+
+TEST(Lsh, FindsHighSimilarityPairs) {
+  // Every pair LSH returns is verified exact; and the recall against
+  // the exact all-pairs result should be high for J >= 0.7.
+  graph::RmatOptions o;
+  o.scale = 9;
+  o.edge_factor = 10;
+  const auto g = graph::rmat_graph(o);
+  common::ThreadPool pool(2);
+
+  Options exact_opts;
+  exact_opts.min_similarity = 0.7;
+  const auto exact = all_pairs(g, pool, exact_opts);
+
+  const MinHash mh(64);
+  LshOptions lsh_opts;
+  lsh_opts.bands = 16;
+  lsh_opts.rows_per_band = 4;
+  lsh_opts.threshold = 0.7;
+  const auto approx = lsh_similar_pairs(g, mh, pool, lsh_opts);
+
+  // Precision is 1.0 by construction (verified); check values.
+  for (const auto& t : approx.pairs) {
+    EXPECT_GE(t.value, 0.7);
+    EXPECT_NEAR(t.value, pair_similarity(g, t.row, t.col), 1e-12);
+  }
+  // Recall: banding with 16 bands of 4 rows catches J=0.7 pairs with
+  // probability 1-(1-0.7^4)^16 ~ 0.99.
+  EXPECT_GE(approx.pairs.size(), exact.similarities.nnz() * 85 / 100);
+  // And it should have looked at far fewer pairs than the full product.
+  const double all_pairs_count =
+      0.5 * static_cast<double>(g.vertices()) *
+      static_cast<double>(g.vertices() - 1);
+  EXPECT_LT(static_cast<double>(approx.candidates), 0.3 * all_pairs_count);
+}
+
+TEST(Lsh, GeometryValidation) {
+  const auto g = star(4);
+  common::ThreadPool pool(2);
+  const MinHash mh(64);
+  LshOptions bad;
+  bad.bands = 10;
+  bad.rows_per_band = 7;  // 70 != 64
+  EXPECT_THROW(lsh_similar_pairs(g, mh, pool, bad), std::invalid_argument);
+}
+
+class JaccardChunks : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(JaccardChunks, ChunkSizeDoesNotChangeResult) {
+  graph::RmatOptions o;
+  o.scale = 8;
+  const auto g = graph::rmat_graph(o);
+  common::ThreadPool pool(3);
+  Options base;
+  const auto reference = as_map(all_pairs(g, pool, base));
+  Options chunked;
+  chunked.row_chunk = GetParam();
+  const auto got = as_map(all_pairs(g, pool, chunked));
+  EXPECT_EQ(got, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, JaccardChunks,
+                         ::testing::Values(1, 3, 17, 64, 1024));
+
+}  // namespace
+}  // namespace p8::jaccard

@@ -1,0 +1,315 @@
+// Tests for the Figure 9 kernels: 7-point stencil, D3Q19 lattice
+// Boltzmann, and the 3-D FFT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/lbm.hpp"
+#include "kernels/stencil.hpp"
+
+namespace p8::kernels {
+namespace {
+
+common::ThreadPool& pool() {
+  static common::ThreadPool p(3);
+  return p;
+}
+
+// ---------------------------------------------------------------- stencil --
+
+TEST(Stencil, UniformFieldIsFixedPointWhenWeightsSumToOne) {
+  const StencilGrid grid{8, 8, 8};
+  const Stencil7 st(grid, 0.4, 0.1);  // 0.4 + 6*0.1 = 1
+  std::vector<double> in(grid.points(), 3.5);
+  std::vector<double> out(grid.points());
+  st.sweep(in, out, pool());
+  for (const double v : out) EXPECT_NEAR(v, 3.5, 1e-14);
+}
+
+TEST(Stencil, SinglePointSpreads) {
+  const StencilGrid grid{7, 7, 7};
+  const Stencil7 st(grid);
+  std::vector<double> in(grid.points(), 0.0);
+  in[grid.index(3, 3, 3)] = 1.0;
+  std::vector<double> out(grid.points());
+  st.sweep(in, out, pool());
+  EXPECT_NEAR(out[grid.index(3, 3, 3)], 0.4, 1e-14);
+  EXPECT_NEAR(out[grid.index(2, 3, 3)], 0.1, 1e-14);
+  EXPECT_NEAR(out[grid.index(3, 4, 3)], 0.1, 1e-14);
+  EXPECT_NEAR(out[grid.index(3, 3, 2)], 0.1, 1e-14);
+  EXPECT_NEAR(out[grid.index(2, 2, 3)], 0.0, 1e-14);  // diagonal untouched
+}
+
+TEST(Stencil, BoundaryCopiedThrough) {
+  const StencilGrid grid{5, 5, 5};
+  const Stencil7 st(grid);
+  std::vector<double> in(grid.points());
+  common::Xoshiro256 rng(1);
+  for (auto& v : in) v = rng.uniform();
+  std::vector<double> out(grid.points());
+  st.sweep(in, out, pool());
+  EXPECT_DOUBLE_EQ(out[grid.index(0, 2, 2)], in[grid.index(0, 2, 2)]);
+  EXPECT_DOUBLE_EQ(out[grid.index(2, 0, 2)], in[grid.index(2, 0, 2)]);
+  EXPECT_DOUBLE_EQ(out[grid.index(2, 2, 4)], in[grid.index(2, 2, 4)]);
+}
+
+TEST(Stencil, SweepsConvergeTowardUniform) {
+  // Diffusive weights smooth a random field: variance must shrink.
+  const StencilGrid grid{10, 10, 10};
+  const Stencil7 st(grid);
+  std::vector<double> field(grid.points());
+  common::Xoshiro256 rng(7);
+  for (auto& v : field) v = rng.uniform();
+  auto spread = [&](const std::vector<double>& f) {
+    double lo = 1e300;
+    double hi = -1e300;
+    // Interior only: boundaries are frozen.
+    for (std::size_t z = 1; z + 1 < 10; ++z)
+      for (std::size_t y = 1; y + 1 < 10; ++y)
+        for (std::size_t x = 1; x + 1 < 10; ++x) {
+          lo = std::min(lo, f[grid.index(x, y, z)]);
+          hi = std::max(hi, f[grid.index(x, y, z)]);
+        }
+    return hi - lo;
+  };
+  const double before = spread(field);
+  const auto after = st.run(field, 10, pool());
+  EXPECT_LT(spread(after), before);
+}
+
+TEST(Stencil, OperationalIntensityNearHalf) {
+  const Stencil7 st(StencilGrid{128, 128, 128});
+  EXPECT_GT(st.operational_intensity(), 0.3);
+  EXPECT_LT(st.operational_intensity(), 0.6);
+}
+
+TEST(Stencil, RejectsTinyGrids) {
+  EXPECT_THROW(Stencil7(StencilGrid{2, 8, 8}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- LBM --
+
+TEST(Lbm, EquilibriumIsStationary) {
+  LbmD3Q19 lbm(6, 6, 6);
+  lbm.initialize(1.0, 0.0, 0.0, 0.0);
+  const double mass0 = lbm.total_mass();
+  for (int s = 0; s < 5; ++s) lbm.step(pool());
+  EXPECT_NEAR(lbm.total_mass(), mass0, 1e-10);
+  const auto m = lbm.macroscopic(3, 3, 3);
+  EXPECT_NEAR(m.density, 1.0, 1e-12);
+  EXPECT_NEAR(m.ux, 0.0, 1e-12);
+}
+
+TEST(Lbm, MassAndMomentumConserved) {
+  LbmD3Q19 lbm(8, 6, 4);
+  lbm.initialize(1.0, 0.05, -0.02, 0.01);
+  const double mass0 = lbm.total_mass();
+  const auto mom0 = lbm.total_momentum();
+  for (int s = 0; s < 10; ++s) lbm.step(pool());
+  EXPECT_NEAR(lbm.total_mass(), mass0, mass0 * 1e-12);
+  const auto mom = lbm.total_momentum();
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(mom[d], mom0[d], 1e-9);
+}
+
+TEST(Lbm, UniformFlowAdvects) {
+  LbmD3Q19 lbm(6, 6, 6);
+  lbm.initialize(1.0, 0.08, 0.0, 0.0);
+  for (int s = 0; s < 3; ++s) lbm.step(pool());
+  const auto m = lbm.macroscopic(2, 2, 2);
+  EXPECT_NEAR(m.ux, 0.08, 1e-6);
+  EXPECT_NEAR(m.uy, 0.0, 1e-9);
+}
+
+TEST(Lbm, OperationalIntensityNearOne) {
+  // The paper's Figure 9 places LBMHD at OI ~ 1.
+  const LbmD3Q19 lbm(32, 32, 32);
+  EXPECT_GT(lbm.operational_intensity(), 0.7);
+  EXPECT_LT(lbm.operational_intensity(), 1.6);
+}
+
+TEST(Lbm, Validation) {
+  EXPECT_THROW(LbmD3Q19(1, 4, 4), std::invalid_argument);
+  EXPECT_THROW(LbmD3Q19(4, 4, 4, 0.4), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- FFT --
+
+TEST(Fft1d, MatchesNaiveDft) {
+  const std::size_t n = 16;
+  std::vector<Complex> data(n);
+  common::Xoshiro256 rng(3);
+  for (auto& c : data) c = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+  std::vector<Complex> reference(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum{0, 0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(k * j) / static_cast<double>(n);
+      sum += data[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    reference[k] = sum;
+  }
+  fft_1d(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), reference[k].real(), 1e-10);
+    EXPECT_NEAR(data[k].imag(), reference[k].imag(), 1e-10);
+  }
+}
+
+TEST(Fft1d, InverseRoundTrip) {
+  std::vector<Complex> data(64);
+  common::Xoshiro256 rng(5);
+  for (auto& c : data) c = {rng.uniform(), rng.uniform()};
+  const auto original = data;
+  fft_1d(data);
+  fft_1d(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft1d, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(12);
+  EXPECT_THROW(fft_1d(data), std::invalid_argument);
+}
+
+TEST(Fft3d, DeltaTransformsToConstant) {
+  const Fft3D fft(4, 4, 4);
+  std::vector<Complex> field(fft.points(), Complex{0, 0});
+  field[0] = {1.0, 0.0};
+  fft.transform(field, pool());
+  for (const auto& c : field) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft3d, PlaneWaveTransformsToDelta) {
+  const Fft3D fft(8, 4, 2);
+  std::vector<Complex> field(fft.points());
+  // exp(+2 pi i * (3x/8 + 1y/4)) concentrates at bin (3, 1, 0).
+  for (std::size_t z = 0; z < 2; ++z)
+    for (std::size_t y = 0; y < 4; ++y)
+      for (std::size_t x = 0; x < 8; ++x) {
+        const double phase = 2.0 * std::numbers::pi *
+                             (3.0 * x / 8.0 + 1.0 * y / 4.0);
+        field[fft.index(x, y, z)] = {std::cos(phase), std::sin(phase)};
+      }
+  fft.transform(field, pool());
+  for (std::size_t z = 0; z < 2; ++z)
+    for (std::size_t y = 0; y < 4; ++y)
+      for (std::size_t x = 0; x < 8; ++x) {
+        const double expected =
+            (x == 3 && y == 1 && z == 0) ? static_cast<double>(fft.points())
+                                         : 0.0;
+        EXPECT_NEAR(field[fft.index(x, y, z)].real(), expected, 1e-9);
+        EXPECT_NEAR(field[fft.index(x, y, z)].imag(), 0.0, 1e-9);
+      }
+}
+
+TEST(Fft3d, RoundTripAndParseval) {
+  const Fft3D fft(8, 8, 8);
+  std::vector<Complex> field(fft.points());
+  common::Xoshiro256 rng(11);
+  for (auto& c : field) c = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+  const auto original = field;
+  double energy_in = 0.0;
+  for (const auto& c : field) energy_in += std::norm(c);
+
+  fft.transform(field, pool());
+  double energy_out = 0.0;
+  for (const auto& c : field) energy_out += std::norm(c);
+  // Parseval: sum|X|^2 = N sum|x|^2 for the unnormalized transform.
+  EXPECT_NEAR(energy_out, energy_in * static_cast<double>(fft.points()),
+              energy_in * 1e-6);
+
+  fft.transform(field, pool(), /*inverse=*/true);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    EXPECT_NEAR(field[i].real(), original[i].real(), 1e-11);
+    EXPECT_NEAR(field[i].imag(), original[i].imag(), 1e-11);
+  }
+}
+
+TEST(Fft3d, OperationalIntensityAboveOne) {
+  // Figure 9 places 3D FFT at OI ~ 1.64.
+  const Fft3D fft(256, 256, 256);
+  EXPECT_GT(fft.operational_intensity(), 1.0);
+  EXPECT_LT(fft.operational_intensity(), 2.5);
+}
+
+TEST(Fft3d, Validation) {
+  EXPECT_THROW(Fft3D(6, 8, 8), std::invalid_argument);
+  EXPECT_THROW(Fft3D(8, 8, 1), std::invalid_argument);
+}
+
+class FftSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FftSizes, RoundTripAnyBox) {
+  const auto [nx, ny, nz] = GetParam();
+  const Fft3D fft(static_cast<std::size_t>(nx), static_cast<std::size_t>(ny),
+                  static_cast<std::size_t>(nz));
+  std::vector<Complex> field(fft.points());
+  common::Xoshiro256 rng(static_cast<std::uint64_t>(nx * ny * nz));
+  for (auto& c : field) c = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+  const auto original = field;
+  fft.transform(field, pool());
+  fft.transform(field, pool(), true);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < field.size(); ++i)
+    worst = std::max(worst, std::abs(field[i].real() - original[i].real()) +
+                                std::abs(field[i].imag() - original[i].imag()));
+  EXPECT_LT(worst, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boxes, FftSizes,
+    ::testing::Values(std::tuple{2, 2, 2}, std::tuple{4, 8, 2},
+                      std::tuple{16, 4, 8}, std::tuple{32, 2, 4},
+                      std::tuple{8, 8, 8}));
+
+class LbmTau : public ::testing::TestWithParam<double> {};
+
+TEST_P(LbmTau, StableAndConservativeAcrossRelaxationTimes) {
+  LbmD3Q19 lbm(6, 6, 6, GetParam());
+  lbm.initialize(1.0, 0.04, -0.02, 0.01);
+  const double mass0 = lbm.total_mass();
+  for (int s = 0; s < 8; ++s) lbm.step(pool());
+  EXPECT_NEAR(lbm.total_mass(), mass0, mass0 * 1e-12);
+  // Fields stay finite and near the initial state for gentle flows.
+  const auto m = lbm.macroscopic(3, 3, 3);
+  EXPECT_LT(std::abs(m.ux), 0.5);
+  EXPECT_GT(m.density, 0.5);
+  EXPECT_LT(m.density, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, LbmTau,
+                         ::testing::Values(0.55, 0.8, 1.0, 1.7));
+
+class StencilGrids
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(StencilGrids, UniformFixedPointAnyGrid) {
+  const auto [nx, ny, nz] = GetParam();
+  const StencilGrid grid{static_cast<std::size_t>(nx),
+                         static_cast<std::size_t>(ny),
+                         static_cast<std::size_t>(nz)};
+  const Stencil7 st(grid);
+  std::vector<double> in(grid.points(), -2.5);
+  std::vector<double> out(grid.points());
+  st.sweep(in, out, pool());
+  for (const double v : out) ASSERT_NEAR(v, -2.5, 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, StencilGrids,
+                         ::testing::Values(std::tuple{3, 3, 3},
+                                           std::tuple{16, 3, 5},
+                                           std::tuple{5, 16, 3},
+                                           std::tuple{9, 9, 9}));
+
+}  // namespace
+}  // namespace p8::kernels

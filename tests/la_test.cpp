@@ -1,0 +1,303 @@
+// Tests for the dense linear-algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "la/eigen.hpp"
+#include "la/matrix.hpp"
+#include "la/purification.hpp"
+#include "la/solve.hpp"
+
+namespace p8::la {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j)
+      a(i, j) = a(j, i) = rng.uniform() * 2.0 - 1.0;
+  return a;
+}
+
+TEST(Matrix, BasicAccess) {
+  Matrix m(2, 3);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix i3 = Matrix::identity(3);
+  const Matrix a = random_symmetric(3, 1);
+  const Matrix ai = multiply(a, i3);
+  EXPECT_LT(a.distance(ai), 1e-14);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const Matrix a2 = multiply(a, a);
+  EXPECT_DOUBLE_EQ(a2(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(a2(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(a2(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(a2(1, 1), 22.0);
+}
+
+TEST(Matrix, MultiplyShapeCheck) {
+  EXPECT_THROW(multiply(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  common::Xoshiro256 rng(4);
+  Matrix a(3, 5);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 5; ++c) a(r, c) = rng.uniform();
+  const Matrix att = a.transposed().transposed();
+  EXPECT_LT(a.distance(att), 1e-15);
+  EXPECT_DOUBLE_EQ(a.transposed()(4, 2), a(2, 4));
+}
+
+TEST(Matrix, AddWithCoefficients) {
+  const Matrix a = Matrix::identity(2);
+  Matrix b(2, 2, 1.0);
+  const Matrix c = add(a, b, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(c(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 3.0);
+}
+
+TEST(Matrix, SymmetrizeAverages) {
+  Matrix a(2, 2);
+  a(0, 1) = 4.0;
+  a(1, 0) = 2.0;
+  symmetrize(a);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 3.0);
+}
+
+TEST(Matrix, TraceProduct) {
+  const Matrix a = random_symmetric(4, 2);
+  const Matrix b = random_symmetric(4, 3);
+  const Matrix ab = multiply(a, b);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) trace += ab(i, i);
+  EXPECT_NEAR(trace_product(a, b), trace, 1e-12);
+}
+
+TEST(Matrix, MaxAbs) {
+  Matrix a(2, 2);
+  a(1, 0) = -7.0;
+  a(0, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(a.max_abs(), 7.0);
+}
+
+// ---------------------------------------------------------------- eigen ----
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const EigenResult r = symmetric_eigen(a);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 3.0, 1e-12);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] -> eigenvalues 1 and 3.
+  Matrix a(2, 2);
+  a(0, 0) = a(1, 1) = 2.0;
+  a(0, 1) = a(1, 0) = 1.0;
+  const EigenResult r = symmetric_eigen(a);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-12);
+}
+
+class EigenRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenRandom, ResidualAndOrthonormality) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, n);
+  const EigenResult r = symmetric_eigen(a);
+
+  // A v_k = lambda_k v_k.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t row = 0; row < n; ++row) {
+      double av = 0.0;
+      for (std::size_t c = 0; c < n; ++c) av += a(row, c) * r.vectors(c, k);
+      EXPECT_NEAR(av, r.values[k] * r.vectors(row, k), 1e-8)
+          << "k=" << k << " row=" << row;
+    }
+  }
+  // V^T V = I.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        dot += r.vectors(k, i) * r.vectors(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-10);
+    }
+  // Values ascend.
+  for (std::size_t k = 1; k < n; ++k)
+    EXPECT_LE(r.values[k - 1], r.values[k] + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenRandom,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33));
+
+TEST(Eigen, TraceAndFrobeniusPreserved) {
+  const Matrix a = random_symmetric(12, 7);
+  const EigenResult r = symmetric_eigen(a);
+  double trace = 0.0;
+  double frob = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    trace += a(i, i);
+    for (std::size_t j = 0; j < 12; ++j) frob += a(i, j) * a(i, j);
+  }
+  double etrace = 0.0;
+  double efrob = 0.0;
+  for (const double v : r.values) {
+    etrace += v;
+    efrob += v * v;
+  }
+  EXPECT_NEAR(trace, etrace, 1e-9);
+  EXPECT_NEAR(frob, efrob, 1e-8);
+}
+
+TEST(Eigen, RejectsNonSquare) {
+  EXPECT_THROW(symmetric_eigen(Matrix(2, 3)), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- inverse sqrt --
+
+TEST(InverseSqrt, XsxIsIdentity) {
+  // Build an SPD matrix: S = A^T A + I.
+  const Matrix a = random_symmetric(10, 5);
+  Matrix s = multiply(a.transposed(), a);
+  for (std::size_t i = 0; i < 10; ++i) s(i, i) += 1.0;
+  const Matrix x = inverse_sqrt(s);
+  const Matrix should_be_identity = multiply(multiply(x, s), x);
+  EXPECT_LT(should_be_identity.distance(Matrix::identity(10)), 1e-8);
+}
+
+TEST(InverseSqrt, IdentityFixedPoint) {
+  const Matrix x = inverse_sqrt(Matrix::identity(4));
+  EXPECT_LT(x.distance(Matrix::identity(4)), 1e-10);
+}
+
+TEST(InverseSqrt, RejectsIndefinite) {
+  Matrix s(2, 2);
+  s(0, 0) = 1.0;
+  s(1, 1) = -1.0;
+  EXPECT_THROW(inverse_sqrt(s), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ solve --
+
+TEST(Solve, KnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto x = solve_linear(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, NeedsPivoting) {
+  // Zero on the leading diagonal: plain elimination would divide by 0.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = solve_linear(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, RandomSystemResidual) {
+  common::Xoshiro256 rng(13);
+  Matrix a(12, 12);
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (std::size_t c = 0; c < 12; ++c) a(r, c) = rng.uniform() - 0.5;
+    a(r, r) += 4.0;  // diagonally dominant: well conditioned
+  }
+  std::vector<double> b(12);
+  for (auto& v : b) v = rng.uniform();
+  const auto x = solve_linear(a, b);
+  for (std::size_t r = 0; r < 12; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 12; ++c) sum += a(r, c) * x[c];
+    EXPECT_NEAR(sum, b[r], 1e-10);
+  }
+}
+
+TEST(Solve, SingularRejected) {
+  Matrix a(2, 2, 1.0);  // rank 1
+  EXPECT_THROW(solve_linear(a, {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Solve, ShapeValidation) {
+  EXPECT_THROW(solve_linear(Matrix(2, 3), {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_linear(Matrix(2, 2), {1.0}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- purification --
+
+TEST(Purify, MatchesDiagonalizationProjector) {
+  // Projector onto the lowest k eigenvectors of a random symmetric
+  // matrix, computed both ways.
+  const std::size_t n = 10;
+  const Matrix f = random_symmetric(n, 21);
+  const EigenResult eig = symmetric_eigen(f);
+  for (const std::size_t occ : {2ul, 5ul, 7ul}) {
+    Matrix reference(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t k = 0; k < occ; ++k)
+          reference(i, j) += eig.vectors(i, k) * eig.vectors(j, k);
+
+    const PurificationResult pur = purify(f, occ);
+    ASSERT_TRUE(pur.converged) << "occ " << occ;
+    EXPECT_LT(pur.projector.distance(reference), 1e-6) << "occ " << occ;
+  }
+}
+
+TEST(Purify, ProjectorIsIdempotentWithRightTrace) {
+  const Matrix f = random_symmetric(8, 5);
+  const PurificationResult pur = purify(f, 3);
+  ASSERT_TRUE(pur.converged);
+  const Matrix d2 = multiply(pur.projector, pur.projector);
+  EXPECT_LT(pur.projector.distance(d2), 1e-7);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) trace += pur.projector(i, i);
+  EXPECT_NEAR(trace, 3.0, 1e-8);
+}
+
+TEST(Purify, TrivialOccupations) {
+  const Matrix f = random_symmetric(5, 9);
+  const auto none = purify(f, 0);
+  EXPECT_TRUE(none.converged);
+  EXPECT_NEAR(none.projector.max_abs(), 0.0, 1e-15);
+  const auto all = purify(f, 5);
+  EXPECT_TRUE(all.converged);
+  EXPECT_LT(all.projector.distance(Matrix::identity(5)), 1e-12);
+}
+
+TEST(Purify, RejectsOverOccupation) {
+  EXPECT_THROW(purify(Matrix(3, 3), 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p8::la

@@ -1,0 +1,149 @@
+// Tests for the SpMV performance predictor (cache replay + bandwidth
+// model).
+#include <gtest/gtest.h>
+
+#include "graph/matrices.hpp"
+#include "graph/rmat.hpp"
+#include "predict/spmv_predict.hpp"
+
+namespace p8::predict {
+namespace {
+
+const sim::Machine& machine() {
+  static const sim::Machine m = sim::Machine::e870();
+  return m;
+}
+
+TEST(SpmvPredict, DenseKeepsXInCache) {
+  const auto p = predict_csr_spmv(graph::dense_matrix(400), machine());
+  EXPECT_GT(p.x_hit_fraction, 0.99);
+  // Compulsory traffic only: ~12 B/nnz.
+  EXPECT_NEAR(p.bytes_per_nnz, 12.0, 1.0);
+}
+
+TEST(SpmvPredict, BandedBeatsScaleFree) {
+  const auto banded =
+      predict_csr_spmv(graph::fem_banded(20000, 3, 12, 50, 1), machine());
+  const auto scale_free =
+      predict_csr_spmv(graph::power_law(120000, 3.1, 2.3, 2), machine());
+  EXPECT_GT(banded.x_hit_fraction, scale_free.x_hit_fraction);
+  EXPECT_GT(banded.gflops, scale_free.gflops);
+}
+
+TEST(SpmvPredict, HitRateFallsWithRmatScale) {
+  // Below ~scale 16 the whole input vector fits the modelled 192 MB of
+  // on-chip+L4 capacity, so compare scales where x genuinely outgrows
+  // the hierarchy.
+  auto hit = [&](int scale) {
+    graph::RmatOptions o;
+    o.scale = scale;
+    o.edge_factor = 16;
+    return predict_csr_spmv(graph::rmat_adjacency(o), machine())
+        .x_hit_fraction;
+  };
+  const double h16 = hit(16);
+  const double h18 = hit(18);
+  const double h20 = hit(20);
+  EXPECT_LT(h18, h16 - 0.001);
+  EXPECT_LT(h20, h18 - 0.005);
+}
+
+TEST(SpmvPredict, BoundedByTheBandwidthCeiling) {
+  // 2 flops / 12 bytes at the best mix is the absolute SpMV ceiling.
+  const double ceiling =
+      2.0 / 12.0 * machine().memory().system_stream_gbs({1, 0});
+  for (const auto& entry : graph::figure11_suite(0.2)) {
+    const auto p = predict_csr_spmv(entry.matrix, machine());
+    EXPECT_LE(p.gflops, ceiling * 1.01) << entry.name;
+    EXPECT_GT(p.gflops, 0.0) << entry.name;
+  }
+}
+
+TEST(SpmvPredict, MoreMissesMeanMoreBytes) {
+  const auto p = predict_csr_spmv(graph::random_uniform(200000, 4, 3),
+                                  machine());
+  // Every miss drags a 128 B line: bytes/nnz must reflect the misses.
+  const double expected =
+      12.0 + (1.0 - p.x_hit_fraction) * 128.0 + 16.0 * (1.0 / 4.0);
+  EXPECT_NEAR(p.bytes_per_nnz, expected, 0.5);
+}
+
+TEST(SpmvPredict, SampleCapRespected) {
+  SpmvPredictOptions opts;
+  opts.sample_nnz = 1000;
+  const auto p = predict_csr_spmv(graph::random_uniform(50000, 8, 4),
+                                  machine(), opts);
+  EXPECT_GT(p.gflops, 0.0);  // still produces a sane prediction
+}
+
+TEST(SpmvPredict, EmptyMatrixRejected) {
+  const auto empty = graph::CsrMatrix::from_triplets(10, 10, {});
+  EXPECT_THROW(predict_csr_spmv(empty, machine()), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- tiled ---
+
+TEST(TiledPredict, MatchesShapeVariant) {
+  graph::RmatOptions o;
+  o.scale = 14;
+  o.edge_factor = 16;
+  const auto a = graph::rmat_adjacency(o);
+  const auto from_matrix = predict_tiled_spmv(a, machine());
+  const auto from_shape =
+      predict_tiled_spmv_shape(a.rows(), a.nnz(), machine());
+  EXPECT_NEAR(from_matrix.gflops, from_shape.gflops,
+              from_shape.gflops * 0.02);
+}
+
+TEST(TiledPredict, LongStreamsAreEfficient) {
+  // Small scale: huge tiles, efficiency ~1.
+  const auto p = predict_tiled_spmv_shape(1u << 20, 32u << 20, machine());
+  EXPECT_GT(p.stream_efficiency, 0.95);
+}
+
+TEST(TiledPredict, TinyTilesLoseEfficiency) {
+  // Paper scale 31: ~63 nnz per tile, "roughly 4 cache lines".
+  const auto p =
+      predict_tiled_spmv_shape(1ull << 31, 32ull << 31, machine());
+  EXPECT_NEAR(p.mean_tile_nnz, 63.0, 10.0);
+  EXPECT_LT(p.stream_efficiency, 0.3);
+}
+
+TEST(TiledPredict, CrossoverAtPaperScales) {
+  // The Figure 12 story: at host-like scales CSR wins (x fits the
+  // hierarchy); past the capacity wall the tiled algorithm wins by
+  // 2-4x; by scale 31 the advantage shrinks again as tiles empty.
+  auto ratio = [&](int scale) {
+    const std::uint64_t n = 1ull << scale;
+    const std::uint64_t nnz = 32ull * n;
+    return predict_tiled_spmv_shape(n, nnz, machine()).gflops /
+           predict_csr_spmv_shape(n, nnz, machine()).gflops;
+  };
+  EXPECT_LT(ratio(22), 1.0);   // CSR wins while x is cache resident
+  EXPECT_GT(ratio(26), 2.0);   // tiled wins in the paper's mid range
+  EXPECT_GT(ratio(28), 2.0);
+  EXPECT_GT(ratio(31), 1.0);   // still ahead, but decaying
+  EXPECT_LT(ratio(31), ratio(27));
+}
+
+TEST(TiledPredict, DecayWithScaleBeyondCrossover) {
+  double prev = 1e9;
+  for (const int scale : {26, 28, 30}) {
+    const std::uint64_t n = 1ull << scale;
+    const auto p = predict_tiled_spmv_shape(n, 32ull * n, machine());
+    EXPECT_LT(p.gflops, prev) << "scale " << scale;
+    prev = p.gflops;
+  }
+}
+
+TEST(CsrShapePredict, CapacityWall) {
+  // x-hit collapses once 8n outgrows ~154 MB of usable cache.
+  const auto small = predict_csr_spmv_shape(1u << 22, 1ull << 27, machine());
+  const auto large = predict_csr_spmv_shape(1ull << 28, 1ull << 33, machine());
+  EXPECT_DOUBLE_EQ(small.x_hit_fraction, 1.0);
+  EXPECT_LT(large.x_hit_fraction, 0.1);
+  EXPECT_LT(large.gflops, small.gflops / 4.0);
+}
+
+}  // namespace
+}  // namespace p8::predict

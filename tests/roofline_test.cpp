@@ -1,0 +1,188 @@
+// Tests for the roofline model (Figure 9).
+#include <gtest/gtest.h>
+
+#include "arch/spec.hpp"
+#include "roofline/energy.hpp"
+#include "roofline/roofline.hpp"
+
+namespace p8::roofline {
+namespace {
+
+RooflineModel e870_roofline() {
+  return RooflineModel::from_spec(arch::e870());
+}
+
+TEST(Roofline, E870Roofs) {
+  const auto r = e870_roofline();
+  EXPECT_NEAR(r.peak_gflops(), 2227.0, 1.0);
+  EXPECT_NEAR(r.mem_gbs(), 1843.0, 1.0);
+  EXPECT_NEAR(r.write_only_gbs(), 614.0, 1.0);
+}
+
+TEST(Roofline, RidgeIsOnePointTwo) {
+  EXPECT_NEAR(e870_roofline().ridge_oi(), 1.2, 0.05);
+}
+
+TEST(Roofline, MemoryBoundBelowRidge) {
+  const auto r = e870_roofline();
+  const double oi = 0.5;
+  EXPECT_DOUBLE_EQ(r.attainable_gflops(oi), oi * r.mem_gbs());
+}
+
+TEST(Roofline, ComputeBoundAboveRidge) {
+  const auto r = e870_roofline();
+  EXPECT_DOUBLE_EQ(r.attainable_gflops(10.0), r.peak_gflops());
+}
+
+TEST(Roofline, LbmhdExpectations) {
+  // Paper: at OI ~ 1, expected peak 1,843 GFLOP/s on the optimal-mix
+  // roof but only 614 GFLOP/s if write-dominated.
+  const auto r = e870_roofline();
+  EXPECT_NEAR(r.attainable_gflops(1.0), 1843.0, 1.0);
+  EXPECT_NEAR(r.attainable_gflops(1.0, /*write_only=*/true), 614.0, 1.0);
+}
+
+TEST(Roofline, WriteRoofIsLessThanHalf) {
+  const auto r = e870_roofline();
+  for (const double oi : {0.1, 0.5, 1.0}) {
+    EXPECT_LT(r.attainable_gflops(oi, true),
+              0.5 * r.attainable_gflops(oi));
+  }
+}
+
+TEST(Roofline, WriteRidgeIsFartherRight) {
+  const auto r = e870_roofline();
+  EXPECT_GT(r.ridge_oi_write_only(), r.ridge_oi());
+}
+
+TEST(Roofline, SweepIsMonotoneAndCapped) {
+  const auto r = e870_roofline();
+  const auto points = r.sweep(0.01, 100.0, 50);
+  ASSERT_EQ(points.size(), 50u);
+  double prev = 0.0;
+  for (const auto& p : points) {
+    EXPECT_GE(p.gflops, prev);
+    EXPECT_LE(p.gflops, r.peak_gflops() + 1e-9);
+    prev = p.gflops;
+  }
+  EXPECT_DOUBLE_EQ(points.back().gflops, r.peak_gflops());
+}
+
+TEST(Roofline, KernelCatalogue) {
+  const auto kernels = figure9_kernels();
+  ASSERT_EQ(kernels.size(), 4u);
+  EXPECT_EQ(kernels[0].name, "SpMV");
+  EXPECT_EQ(kernels[3].name, "3D FFT");
+  // SpMV, Stencil and LBMHD sit below the 1.2 ridge (memory bound);
+  // 3D FFT, at OI 1.64, just crosses into the compute-bound region —
+  // the E870's balance puts the ridge unusually low.
+  const auto r = e870_roofline();
+  for (const auto& k : kernels) {
+    EXPECT_GT(k.operational_intensity, 0.0);
+    EXPECT_LT(k.operational_intensity, 2.0);
+  }
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_LT(r.attainable_gflops(kernels[i].operational_intensity),
+              r.peak_gflops());
+  EXPECT_DOUBLE_EQ(r.attainable_gflops(kernels[3].operational_intensity),
+                   r.peak_gflops());
+}
+
+TEST(Roofline, Validation) {
+  EXPECT_THROW(RooflineModel(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(RooflineModel(1, 1, 2), std::invalid_argument);
+  const auto r = e870_roofline();
+  EXPECT_THROW(r.attainable_gflops(0.0), std::invalid_argument);
+  EXPECT_THROW(r.sweep(1.0, 0.5, 10), std::invalid_argument);
+  EXPECT_THROW(r.sweep(0.1, 1.0, 1), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- energy --
+
+EnergyRoofline e870_energy() {
+  return EnergyRoofline(e870_roofline());
+}
+
+TEST(EnergyRoofline, DynamicEnergyAsymptotes) {
+  const auto e = e870_energy();
+  const EnergyParams p;
+  // At huge intensity only flop energy remains...
+  EXPECT_NEAR(e.dynamic_pj_per_flop(1e9), p.pj_per_flop, 0.01);
+  // ...at tiny intensity byte energy dominates: pi + eps/oi.
+  EXPECT_NEAR(e.dynamic_pj_per_flop(0.01), p.pj_per_flop + 100.0 * p.pj_per_byte,
+              1.0);
+}
+
+TEST(EnergyRoofline, EfficiencyMonotoneInIntensity) {
+  const auto e = e870_energy();
+  double prev = 0.0;
+  for (double oi = 0.05; oi < 50.0; oi *= 2.0) {
+    const double eff = e.gflops_per_watt(oi);
+    EXPECT_GT(eff, prev) << "oi " << oi;
+    prev = eff;
+  }
+}
+
+TEST(EnergyRoofline, EnergyBalanceRightOfPerformanceRidge) {
+  // The energy balance point (eps/pi ~ 3.1) lies past the 1.2
+  // performance ridge: even compute-bound kernels on the E870 pay
+  // mostly for data movement.
+  const auto e = e870_energy();
+  EXPECT_GT(e.energy_balance_oi(), e870_roofline().ridge_oi());
+}
+
+TEST(EnergyRoofline, ConstantPowerHurtsSlowKernels) {
+  // A memory-bound kernel runs longer, so the constant-power term adds
+  // proportionally more energy per flop.
+  const auto e = e870_energy();
+  const double slow_overhead =
+      e.total_pj_per_flop(0.1) - e.dynamic_pj_per_flop(0.1);
+  const double fast_overhead =
+      e.total_pj_per_flop(10.0) - e.dynamic_pj_per_flop(10.0);
+  EXPECT_GT(slow_overhead, 5.0 * fast_overhead);
+}
+
+TEST(EnergyRoofline, PowerBetweenStaticAndStaticPlusDynamicMax) {
+  const auto e = e870_energy();
+  const EnergyParams p;
+  for (const double oi : {0.1, 1.0, 10.0}) {
+    EXPECT_GT(e.power_watts(oi), p.constant_watts);
+    // Dynamic power is bounded by peak flops x pi + peak bytes x eps.
+    const double bound = p.constant_watts +
+                         (2227.2 * p.pj_per_flop + 1843.2 * p.pj_per_byte) /
+                             1000.0;
+    EXPECT_LT(e.power_watts(oi), bound);
+  }
+}
+
+TEST(EnergyRoofline, UnitsSanity) {
+  // GFLOP/s/W * pJ/flop must invert to 1000.
+  const auto e = e870_energy();
+  const double oi = 0.7;
+  EXPECT_NEAR(e.gflops_per_watt(oi) * e.total_pj_per_flop(oi), 1000.0,
+              1e-6);
+}
+
+TEST(EnergyRoofline, Validation) {
+  EnergyParams bad;
+  bad.pj_per_flop = 0.0;
+  EXPECT_THROW(EnergyRoofline(e870_roofline(), bad), std::invalid_argument);
+  EXPECT_THROW(e870_energy().dynamic_pj_per_flop(0.0),
+               std::invalid_argument);
+}
+
+class RooflineBalance : public ::testing::TestWithParam<double> {};
+
+TEST_P(RooflineBalance, AttainableIsMinOfRoofs) {
+  const auto r = e870_roofline();
+  const double oi = GetParam();
+  EXPECT_DOUBLE_EQ(r.attainable_gflops(oi),
+                   std::min(r.peak_gflops(), oi * r.mem_gbs()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, RooflineBalance,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 1.0, 1.2,
+                                           1.5, 2.0, 8.0, 64.0));
+
+}  // namespace
+}  // namespace p8::roofline

@@ -1,0 +1,141 @@
+// Tests for the cycle-level SMT/VSX core simulator (Figure 5
+// behaviours).
+#include <gtest/gtest.h>
+
+#include "sim/core/coresim.hpp"
+
+namespace p8::sim {
+namespace {
+
+CoreSim default_sim() { return CoreSim(CoreSimConfig{}); }
+
+TEST(CoreSim, PeakRequiresTwelveInFlight) {
+  const auto sim = default_sim();
+  // Exactly the paper's rule: peak iff threads x FMAs >= 12 with an
+  // even split, since 2 pipes x 6-cycle latency = 12.
+  EXPECT_NEAR(sim.run_fma_loop(1, 12).fraction_of_peak, 1.0, 0.01);
+  EXPECT_NEAR(sim.run_fma_loop(2, 6).fraction_of_peak, 1.0, 0.01);
+  EXPECT_NEAR(sim.run_fma_loop(4, 3).fraction_of_peak, 1.0, 0.01);
+  EXPECT_NEAR(sim.run_fma_loop(6, 2).fraction_of_peak, 1.0, 0.01);
+}
+
+TEST(CoreSim, BelowTwelveScalesLinearly) {
+  const auto sim = default_sim();
+  EXPECT_NEAR(sim.run_fma_loop(1, 6).fraction_of_peak, 0.5, 0.02);
+  EXPECT_NEAR(sim.run_fma_loop(1, 3).fraction_of_peak, 0.25, 0.02);
+  EXPECT_NEAR(sim.run_fma_loop(2, 3).fraction_of_peak, 0.5, 0.02);
+}
+
+TEST(CoreSim, SingleThreadUsesBothPipes) {
+  const auto sim = default_sim();
+  // ST mode: one thread with 12 chains saturates two pipes.
+  const auto r = sim.run_fma_loop(1, 12);
+  EXPECT_NEAR(r.fraction_of_peak, 1.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(r.retired) / r.cycles, 2.0, 0.02);
+}
+
+TEST(CoreSim, OddThreadCountsUnderperform) {
+  const auto sim = default_sim();
+  // With 3 threads x 4 FMAs (12 total) the 2+1 thread-set split
+  // starves one pipe; 2x6 and 4x3 do not.
+  const double odd = sim.run_fma_loop(3, 4).fraction_of_peak;
+  const double even_a = sim.run_fma_loop(2, 6).fraction_of_peak;
+  const double even_b = sim.run_fma_loop(4, 3).fraction_of_peak;
+  EXPECT_LT(odd, even_a - 0.05);
+  EXPECT_LT(odd, even_b - 0.05);
+  // Expected value: saturated pipe + 4/6-fed pipe = (1 + 2/3)/2.
+  EXPECT_NEAR(odd, 5.0 / 6.0, 0.03);
+}
+
+TEST(CoreSim, ThreadSetAblationRemovesOddPenalty) {
+  CoreSimConfig cfg;
+  cfg.threadset_split = false;
+  const CoreSim sim(cfg);
+  EXPECT_NEAR(sim.run_fma_loop(3, 4).fraction_of_peak, 1.0, 0.01);
+}
+
+TEST(CoreSim, RegisterCliffAtSixThreadsTwelveFmas) {
+  const auto sim = default_sim();
+  // 12 FMAs x 2 regs x 5 threads = 120 <= 128: fine.
+  EXPECT_NEAR(sim.run_fma_loop(4, 12).fraction_of_peak, 1.0, 0.01);
+  // 6 threads: 144 > 128 registers — the paper's cliff.
+  const double at6 = sim.run_fma_loop(6, 12).fraction_of_peak;
+  EXPECT_LT(at6, 0.95);
+  EXPECT_GT(at6, 0.6);
+  // 8 threads: worse still.
+  EXPECT_LT(sim.run_fma_loop(8, 12).fraction_of_peak, at6);
+}
+
+TEST(CoreSim, RegisterAblationRemovesCliff) {
+  CoreSimConfig cfg;
+  cfg.unlimited_registers = true;
+  const CoreSim sim(cfg);
+  EXPECT_NEAR(sim.run_fma_loop(8, 12).fraction_of_peak, 1.0, 0.01);
+}
+
+TEST(CoreSim, SmallLoopsNeedNoRegisters) {
+  const auto sim = default_sim();
+  // 8 threads x 2 FMAs = 32 registers: no spill, full speed.
+  EXPECT_NEAR(sim.run_fma_loop(8, 2).fraction_of_peak, 1.0, 0.01);
+}
+
+TEST(CoreSim, RegistersUsedFormula) {
+  const auto sim = default_sim();
+  EXPECT_EQ(sim.registers_used(6, 12), 144);
+  EXPECT_EQ(sim.registers_used(1, 12), 24);
+}
+
+TEST(CoreSim, Validation) {
+  const auto sim = default_sim();
+  EXPECT_THROW(sim.run_fma_loop(0, 4), std::invalid_argument);
+  EXPECT_THROW(sim.run_fma_loop(9, 4), std::invalid_argument);
+  EXPECT_THROW(sim.run_fma_loop(1, 0), std::invalid_argument);
+}
+
+TEST(CoreSim, DeterministicAcrossRuns) {
+  const auto sim = default_sim();
+  const auto a = sim.run_fma_loop(5, 7);
+  const auto b = sim.run_fma_loop(5, 7);
+  EXPECT_EQ(a.retired, b.retired);
+}
+
+struct SweepCase {
+  int threads;
+  int fmas;
+};
+
+class FmaSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(FmaSweep, FractionBoundedAndConsistent) {
+  const auto sim = default_sim();
+  const auto [threads, fmas] = GetParam();
+  const auto r = sim.run_fma_loop(threads, fmas);
+  EXPECT_GE(r.fraction_of_peak, 0.0);
+  EXPECT_LE(r.fraction_of_peak, 1.0 + 1e-9);
+  // Throughput never exceeds what the in-flight count allows.
+  const double max_by_mlp =
+      std::min(1.0, static_cast<double>(threads * fmas) / 12.0);
+  EXPECT_LE(r.fraction_of_peak, max_by_mlp + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FmaSweep,
+    ::testing::Values(SweepCase{1, 1}, SweepCase{1, 4}, SweepCase{1, 24},
+                      SweepCase{2, 2}, SweepCase{2, 12}, SweepCase{3, 2},
+                      SweepCase{4, 6}, SweepCase{5, 4}, SweepCase{6, 6},
+                      SweepCase{7, 12}, SweepCase{8, 1}, SweepCase{8, 16}));
+
+TEST(CoreSim, MoreThreadsNeverHurtWithoutRegisterPressure) {
+  const auto sim = default_sim();
+  // At 2 FMAs per loop the register footprint stays under 128 for all
+  // thread counts; throughput should be non-decreasing in even steps.
+  double prev = 0.0;
+  for (int t = 2; t <= 8; t += 2) {
+    const double f = sim.run_fma_loop(t, 2).fraction_of_peak;
+    EXPECT_GE(f, prev - 0.01);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace p8::sim

@@ -1,0 +1,177 @@
+// Tests for the event-driven latency probe: service charging, prefetch
+// residuals, TLB penalties and SMP hop extras.
+#include <gtest/gtest.h>
+
+#include "arch/spec.hpp"
+#include "sim/machine/latency_probe.hpp"
+#include "sim/machine/machine.hpp"
+
+namespace p8::sim {
+namespace {
+
+ProbeConfig base_config(int dscr = 1) {
+  ProbeConfig c;
+  c.hierarchy = HierarchyConfig::from_spec(arch::e870());
+  c.tlb.page_bytes = 16ull << 20;  // huge pages: no TLB noise
+  c.prefetch.dscr = dscr;
+  return c;
+}
+
+TEST(Probe, ColdAccessCostsDram) {
+  LatencyProbe p(base_config());
+  const auto t = p.access(0);
+  EXPECT_EQ(t.level, ServiceLevel::kDram);
+  // Huge page, first touch: walk penalty + DRAM.
+  EXPECT_NEAR(t.latency_ns,
+              base_config().hierarchy.latency.dram_ns + base_config().tlb.walk_ns,
+              1e-9);
+}
+
+TEST(Probe, WarmAccessCostsL1) {
+  LatencyProbe p(base_config());
+  p.access(0);
+  const auto t = p.access(0);
+  EXPECT_EQ(t.level, ServiceLevel::kL1);
+  EXPECT_NEAR(t.latency_ns, base_config().hierarchy.latency.l1_ns, 1e-9);
+}
+
+TEST(Probe, ClockAdvancesByLatency) {
+  LatencyProbe p(base_config());
+  const double before = p.now_ns();
+  const auto t = p.access(0);
+  EXPECT_NEAR(p.now_ns() - before, t.latency_ns, 1e-9);
+}
+
+TEST(Probe, ComputeTimeAdvancesClock) {
+  auto cfg = base_config();
+  cfg.compute_per_access_ns = 50.0;
+  LatencyProbe p(cfg);
+  const auto t = p.access(0);
+  EXPECT_NEAR(p.now_ns(), t.latency_ns + 50.0, 1e-9);
+}
+
+TEST(Probe, SequentialChaseSettlesAtResidual) {
+  // With DSCR depth d, a dependent sequential chase settles at
+  // dram/(d+1) per line (steady-state pipelining).
+  auto cfg = base_config(/*dscr=*/7);
+  LatencyProbe p(cfg);
+  const int depth = cfg.prefetch.depth_lines();
+  // Warm-up past detection.
+  for (int i = 0; i < 200; ++i) p.access(static_cast<std::uint64_t>(i) * 128);
+  const double t0 = p.now_ns();
+  const int n = 1000;
+  for (int i = 200; i < 200 + n; ++i)
+    p.access(static_cast<std::uint64_t>(i) * 128);
+  const double avg = (p.now_ns() - t0) / n;
+  const double expected =
+      cfg.hierarchy.latency.dram_ns / (depth + 1);
+  EXPECT_NEAR(avg, expected, expected * 0.25 + 1.0);
+}
+
+TEST(Probe, DeeperPrefetchIsFaster) {
+  double prev = 1e9;
+  for (const int dscr : {1, 2, 4, 7}) {
+    LatencyProbe p(base_config(dscr));
+    for (int i = 0; i < 100; ++i)
+      p.access(static_cast<std::uint64_t>(i) * 128);
+    const double t0 = p.now_ns();
+    for (int i = 100; i < 600; ++i)
+      p.access(static_cast<std::uint64_t>(i) * 128);
+    const double avg = (p.now_ns() - t0) / 500.0;
+    EXPECT_LT(avg, prev) << "dscr " << dscr;
+    prev = avg;
+  }
+}
+
+TEST(Probe, PrefetchedAccessesAreFlagged) {
+  LatencyProbe p(base_config(7));
+  int flagged = 0;
+  for (int i = 0; i < 100; ++i)
+    flagged += p.access(static_cast<std::uint64_t>(i) * 128).prefetched;
+  EXPECT_GT(flagged, 80);
+}
+
+TEST(Probe, RemoteExtraChargedOnDram) {
+  auto cfg = base_config();
+  cfg.remote_extra_ns = 118.0;
+  LatencyProbe p(cfg);
+  const auto t = p.access(0);
+  EXPECT_NEAR(t.latency_ns,
+              cfg.hierarchy.latency.dram_ns + cfg.tlb.walk_ns + 118.0, 1e-9);
+  // Cached accesses do not pay the hop.
+  const auto t2 = p.access(0);
+  EXPECT_NEAR(t2.latency_ns, cfg.hierarchy.latency.l1_ns, 1e-9);
+}
+
+TEST(Probe, SmallPagesPayTlbPenalties) {
+  auto cfg = base_config();
+  cfg.tlb.page_bytes = 64 * 1024;
+  LatencyProbe small(cfg);
+  LatencyProbe huge(base_config());
+  // Touch one line in each of 200 distinct 64 KB pages, twice.
+  double small_total = 0.0;
+  double huge_total = 0.0;
+  for (int pass = 0; pass < 2; ++pass)
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t addr = static_cast<std::uint64_t>(i) * 64 * 1024;
+      const double a = small.access(addr).latency_ns;
+      const double b = huge.access(addr).latency_ns;
+      if (pass == 1) {
+        small_total += a;
+        huge_total += b;
+      }
+    }
+  // 200 x 64 KB pages overflow the 48-entry ERAT; 13 MB of huge pages
+  // do not.
+  EXPECT_GT(small_total, huge_total);
+}
+
+TEST(Probe, DcbtHintCoversShortArrays) {
+  // Two probes scanning many short arrays at random positions; the
+  // DCBT one must be faster.
+  auto cfg = base_config(/*dscr=*/0);
+  LatencyProbe plain(cfg);
+  LatencyProbe hinted(cfg);
+  const std::uint64_t kBlock = 8 * 128;  // 8 lines
+  for (int b = 0; b < 200; ++b) {
+    // Spread blocks far apart so streams cannot chain across blocks.
+    const std::uint64_t base =
+        (static_cast<std::uint64_t>(b) * 7919 % 100000) * 64 * 1024;
+    hinted.dcbt_hint(base, kBlock);
+    for (int l = 0; l < 8; ++l) {
+      plain.access(base + static_cast<std::uint64_t>(l) * 128);
+      hinted.access(base + static_cast<std::uint64_t>(l) * 128);
+    }
+  }
+  EXPECT_LT(hinted.now_ns(), plain.now_ns() * 0.85);
+}
+
+TEST(Probe, ResetRestoresColdState) {
+  LatencyProbe p(base_config());
+  p.access(0);
+  p.reset();
+  EXPECT_EQ(p.now_ns(), 0.0);
+  EXPECT_EQ(p.access(0).level, ServiceLevel::kDram);
+}
+
+TEST(Machine, ProbeFactoryWiresRemoteLatency) {
+  const Machine m = Machine::e870();
+  ProbeOptions local;
+  ProbeOptions remote;
+  remote.home_chip = 4;
+  auto lp = m.probe(local);
+  auto rp = m.probe(remote);
+  const double l = lp.access(0).latency_ns;
+  const double r = rp.access(0).latency_ns;
+  EXPECT_NEAR(r - l, m.topology().min_latency_ns(4, 0), 1e-9);
+}
+
+TEST(Machine, ProbeRejectsBadChips) {
+  const Machine m = Machine::e870();
+  ProbeOptions bad;
+  bad.home_chip = 99;
+  EXPECT_THROW(m.probe(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p8::sim

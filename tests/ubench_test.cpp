@@ -1,0 +1,218 @@
+// Tests for the microbenchmark workloads: the Figure 2/7/8 behaviours
+// must show up when the workloads drive the machine model.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/machine/machine.hpp"
+#include "ubench/workloads.hpp"
+
+namespace p8::ubench {
+namespace {
+
+using common::kib;
+using common::mib;
+
+const sim::Machine& machine() {
+  static const sim::Machine m = sim::Machine::e870();
+  return m;
+}
+
+ChaseOptions chase_at(std::uint64_t ws) {
+  ChaseOptions o;
+  o.working_set_bytes = ws;
+  o.page_bytes = 16ull << 20;
+  return o;
+}
+
+TEST(Chase, L1Plateau) {
+  const double lat = chase_latency_ns(machine(), chase_at(kib(32)));
+  EXPECT_LT(lat, 1.5);
+}
+
+TEST(Chase, L2Plateau) {
+  const double lat = chase_latency_ns(machine(), chase_at(kib(256)));
+  EXPECT_GT(lat, 1.5);
+  EXPECT_LT(lat, 5.0);
+}
+
+TEST(Chase, L3Plateau) {
+  const double lat = chase_latency_ns(machine(), chase_at(mib(4)));
+  EXPECT_GT(lat, 4.0);
+  EXPECT_LT(lat, 12.0);
+}
+
+TEST(Chase, RemoteL3Shelf) {
+  // 32 MB: past the local 8 MB region, mostly in the victim pool.
+  const double lat = chase_latency_ns(machine(), chase_at(mib(32)));
+  EXPECT_GT(lat, 12.0);
+  EXPECT_LT(lat, 40.0);
+}
+
+TEST(Chase, L4Shoulder) {
+  // 128 MB: beyond all SRAM (64 MB) but with strong L4 coverage.
+  const double l4ish = chase_latency_ns(machine(), chase_at(mib(128)));
+  const double dram = chase_latency_ns(machine(), chase_at(mib(1024)));
+  EXPECT_LT(l4ish, dram - 10.0);
+  EXPECT_GT(dram, 80.0);
+}
+
+TEST(Chase, MonotoneInWorkingSet) {
+  double prev = 0.0;
+  for (const std::uint64_t ws :
+       {kib(32), kib(256), mib(2), mib(16), mib(96), mib(512)}) {
+    const double lat = chase_latency_ns(machine(), chase_at(ws));
+    EXPECT_GE(lat, prev - 0.5) << "ws " << ws;
+    prev = lat;
+  }
+}
+
+TEST(Chase, SmallPagesSpikeNear4MB) {
+  // The Fig. 2 red-vs-blue gap: with 64 KB pages a 4-6 MB working set
+  // overflows the 48-entry ERAT; with 16 MB pages it does not.
+  ChaseOptions small = chase_at(mib(6));
+  small.page_bytes = 64 * 1024;
+  const double with_small = chase_latency_ns(machine(), small);
+  const double with_huge = chase_latency_ns(machine(), chase_at(mib(6)));
+  EXPECT_GT(with_small, with_huge + 1.0);
+}
+
+TEST(Chase, PageSizeIrrelevantInL1) {
+  ChaseOptions small = chase_at(kib(32));
+  small.page_bytes = 64 * 1024;
+  const double a = chase_latency_ns(machine(), small);
+  const double b = chase_latency_ns(machine(), chase_at(kib(32)));
+  EXPECT_NEAR(a, b, 0.3);
+}
+
+TEST(Chase, ScanProducesOrderedSizes) {
+  const auto points = memory_latency_scan(
+      machine(), {kib(64), mib(1), mib(64)}, 16ull << 20);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].latency_ns, points[1].latency_ns);
+  EXPECT_LT(points[1].latency_ns, points[2].latency_ns);
+}
+
+TEST(Chase, ForwardStrideChainIsPrefetchable) {
+  // A unit-stride forward chain over an out-of-cache working set: with
+  // the prefetcher on, the dependent chase settles near
+  // latency/(depth+1); with it off, full latency.
+  ChaseOptions off = chase_at(mib(512));
+  off.pattern = ChasePattern::kForwardStride;
+  off.dscr = 1;
+  ChaseOptions on = off;
+  on.dscr = 7;
+  const double lat_off = chase_latency_ns(machine(), off);
+  const double lat_on = chase_latency_ns(machine(), on);
+  EXPECT_GT(lat_off, 80.0);
+  EXPECT_LT(lat_on, 20.0);
+}
+
+TEST(Chase, BackwardChainsAreDetectedToo) {
+  // POWER8's prefetcher detects descending streams.
+  ChaseOptions opt = chase_at(mib(512));
+  opt.pattern = ChasePattern::kBackwardStride;
+  opt.dscr = 7;
+  EXPECT_LT(chase_latency_ns(machine(), opt), 20.0);
+}
+
+TEST(Chase, RandomDefeatsThePrefetcher) {
+  ChaseOptions opt = chase_at(mib(512));
+  opt.dscr = 7;  // prefetch on, but the pattern is random
+  EXPECT_GT(chase_latency_ns(machine(), opt), 80.0);
+}
+
+TEST(Chase, StridedChainsCoverEveryLine) {
+  // In-cache working set: any pattern must produce pure L1 hits after
+  // warm-up, proving the chain is a single full cycle.
+  for (const ChasePattern pattern :
+       {ChasePattern::kForwardStride, ChasePattern::kBackwardStride}) {
+    for (const std::uint64_t stride : {1ull, 3ull, 8ull}) {
+      ChaseOptions opt = chase_at(kib(32));
+      opt.pattern = pattern;
+      opt.stride_lines = stride;
+      EXPECT_LT(chase_latency_ns(machine(), opt), 1.0)
+          << "stride " << stride;
+    }
+  }
+}
+
+// ------------------------------------------------------- stride (Fig 7) ----
+
+TEST(Stride, DisabledDetectorPaysFullLatency) {
+  StrideOptions o;
+  o.stride_n = false;
+  const double lat = stride_latency_ns(machine(), o);
+  EXPECT_GT(lat, 80.0);  // ~DRAM
+}
+
+TEST(Stride, EnabledDetectorHidesMostLatency) {
+  StrideOptions o;
+  o.stride_n = true;
+  const double lat = stride_latency_ns(machine(), o);
+  EXPECT_LT(lat, 20.0);  // paper: ~14 ns
+  EXPECT_GT(lat, 5.0);
+}
+
+TEST(Stride, DepthMattersWhenEnabled) {
+  StrideOptions shallow;
+  shallow.stride_n = true;
+  shallow.dscr = 2;
+  StrideOptions deep;
+  deep.stride_n = true;
+  deep.dscr = 7;
+  EXPECT_GT(stride_latency_ns(machine(), shallow),
+            stride_latency_ns(machine(), deep));
+}
+
+TEST(Stride, UnitStrideNeedsNoStrideN) {
+  StrideOptions o;
+  o.stride_lines = 1;
+  o.stride_n = false;
+  o.dscr = 7;
+  EXPECT_LT(stride_latency_ns(machine(), o), 20.0);
+}
+
+// --------------------------------------------------------- DCBT (Fig 8) ----
+
+TEST(Dcbt, HelpsSmallBlocks) {
+  DcbtOptions plain;
+  plain.block_bytes = 2048;
+  DcbtOptions hinted = plain;
+  hinted.use_dcbt = true;
+  const double without = dcbt_block_bandwidth_gbs(machine(), plain);
+  const double with = dcbt_block_bandwidth_gbs(machine(), hinted);
+  // Paper: "more than 25%" for small arrays.
+  EXPECT_GT(with, 1.25 * without);
+}
+
+TEST(Dcbt, NegligibleForLargeBlocks) {
+  DcbtOptions plain;
+  plain.block_bytes = 64 * 1024;
+  plain.total_bytes = 64ull << 20;
+  DcbtOptions hinted = plain;
+  hinted.use_dcbt = true;
+  const double without = dcbt_block_bandwidth_gbs(machine(), plain);
+  const double with = dcbt_block_bandwidth_gbs(machine(), hinted);
+  EXPECT_LT(with, 1.10 * without);
+}
+
+TEST(Dcbt, BandwidthGrowsWithBlockSize) {
+  double prev = 0.0;
+  for (const std::uint64_t bs : {512ull, 2048ull, 8192ull, 65536ull}) {
+    DcbtOptions o;
+    o.block_bytes = bs;
+    const double bw = dcbt_block_bandwidth_gbs(machine(), o);
+    EXPECT_GE(bw, prev * 0.95) << "block " << bs;
+    prev = bw;
+  }
+}
+
+TEST(Dcbt, RejectsSubLineBlocks) {
+  DcbtOptions o;
+  o.block_bytes = 64;
+  EXPECT_THROW(dcbt_block_bandwidth_gbs(machine(), o),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p8::ubench

@@ -3,10 +3,13 @@
 // should collapse onto the L4 latency.
 #include <cstdio>
 
+#include <vector>
+
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "sim/machine/machine.hpp"
+#include "sim/machine/sweep.hpp"
 
 int main() {
   using namespace p8;
@@ -30,14 +33,21 @@ int main() {
     return (probe.now_ns() - t0) / static_cast<double>(lines);
   };
 
+  const std::vector<std::uint64_t> sets = {common::mib(4), common::mib(12),
+                                           common::mib(24), common::mib(48),
+                                           common::mib(96)};
+  // Sweep grid: (working set) x (victim on, off), fanned over a pool.
+  sim::SweepRunner runner;
+  const auto lat = runner.run(2 * sets.size(), [&](std::size_t i) {
+    return probe_at(sets[i / 2], i % 2 == 0);
+  });
+
   common::TextTable t({"Working set", "victim L3 on (ns)",
                        "victim L3 off (ns)", "penalty"});
-  for (const std::uint64_t ws :
-       {common::mib(4), common::mib(12), common::mib(24), common::mib(48),
-        common::mib(96)}) {
-    const double on = probe_at(ws, true);
-    const double off = probe_at(ws, false);
-    t.add_row({common::fmt_bytes(static_cast<double>(ws)),
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const double on = lat[2 * i];
+    const double off = lat[2 * i + 1];
+    t.add_row({common::fmt_bytes(static_cast<double>(sets[i])),
                common::fmt_num(on, 1), common::fmt_num(off, 1),
                common::fmt_num(100.0 * (off / on - 1.0), 0) + "%"});
   }

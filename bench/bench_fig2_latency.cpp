@@ -39,10 +39,13 @@ int main(int argc, char** argv) {
     ws += ws / (ws < common::mib(16) ? 4 : 2);
   }
 
-  const auto regular =
-      ubench::memory_latency_scan(machine, sizes, 64 * 1024, /*dscr=*/1);
+  // Both page-size scans fan out over one pool; results come back in
+  // working-set order, bit-identical to the sequential loop.
+  sim::SweepRunner runner;
+  const auto regular = ubench::memory_latency_scan(machine, sizes, 64 * 1024,
+                                                   /*dscr=*/1, runner);
   const auto huge = ubench::memory_latency_scan(machine, sizes, 16ull << 20,
-                                                /*dscr=*/1);
+                                                /*dscr=*/1, runner);
 
   common::TextTable t(
       {"Working set", "64 KB pages (ns)", "16 MB pages (ns)", "profile"});

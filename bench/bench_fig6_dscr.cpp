@@ -6,6 +6,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "sim/machine/machine.hpp"
+#include "sim/machine/sweep.hpp"
 #include "ubench/workloads.hpp"
 
 int main() {
@@ -15,16 +16,21 @@ int main() {
 
   const sim::Machine machine = sim::Machine::e870();
 
+  // One sweep point per DSCR depth: a unit-stride sequential chase
+  // over fresh memory with the prefetcher at that depth.
+  sim::SweepRunner runner;
+  const auto lats = runner.run(7, [&](std::size_t i) {
+    ubench::StrideOptions opt;
+    opt.stride_lines = 1;
+    opt.dscr = 1 + static_cast<int>(i);
+    opt.stride_n = false;
+    return ubench::stride_latency_ns(machine, opt);
+  });
+
   common::TextTable t({"DSCR", "Depth (lines)", "Seq latency (ns)",
                        "STREAM 2:1 (GB/s)"});
   for (int dscr = 1; dscr <= 7; ++dscr) {
-    // Sequential chase with the prefetcher at this depth: a unit-stride
-    // scan over fresh memory.
-    ubench::StrideOptions opt;
-    opt.stride_lines = 1;
-    opt.dscr = dscr;
-    opt.stride_n = false;
-    const double lat = ubench::stride_latency_ns(machine, opt);
+    const double lat = lats[static_cast<std::size_t>(dscr - 1)];
     const double bw = machine.memory().system_stream_gbs({2, 1});
     // Bandwidth at reduced depth: concurrency-limited.
     const double bw_at_depth =

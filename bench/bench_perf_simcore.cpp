@@ -1,0 +1,158 @@
+// Simulator-core perf harness: how fast does the machine model itself
+// run?  Sweep throughput bounds how many configurations every other
+// bench can afford to explore, so this binary tracks
+//
+//  * single-thread hot-path throughput (simulated accesses/second) for
+//    the two patterns that dominate the figure benches: the prefetch-
+//    heavy sequential scan (inflight table + prefetch engine) and the
+//    randomized pointer chase (cache hierarchy + TLB), and
+//  * wall-clock of the Figure 2 working-set sweep, sequential vs
+//    fanned across the SweepRunner, with a bit-identical check on the
+//    results.
+//
+// Results are printed as a table and written as machine-readable JSON
+// (default BENCH_perf_simcore.json) so the perf trajectory is tracked
+// across PRs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "common/units.hpp"
+#include "sim/machine/machine.hpp"
+#include "sim/machine/sweep.hpp"
+#include "ubench/workloads.hpp"
+
+namespace {
+
+using namespace p8;
+
+/// Simulated accesses/second of a unit-stride scan with the deepest
+/// prefetch setting — every access goes through the prefetch engine
+/// and the in-flight table.
+double seq_scan_macc_per_s(const sim::Machine& machine, std::uint64_t n) {
+  sim::ProbeOptions opts;
+  opts.page_bytes = 16ull << 20;
+  opts.dscr = 7;
+  sim::LatencyProbe probe = machine.probe(opts);
+  common::Timer timer;
+  for (std::uint64_t i = 0; i < n; ++i) probe.access(i * 128);
+  return static_cast<double>(n) / timer.seconds() / 1e6;
+}
+
+/// Simulated accesses/second of the Fig. 2 randomized chase over a
+/// 16 MB working set — cache way scans and TLB dominate.
+double chase_macc_per_s(const sim::Machine& machine, std::uint64_t n) {
+  sim::ProbeOptions opts;
+  opts.page_bytes = 64 * 1024;
+  opts.dscr = 1;
+  sim::LatencyProbe probe = machine.probe(opts);
+  const std::uint64_t lines = (16ull << 20) / 128;
+  // Cheap deterministic scatter over the working set (odd multiplier
+  // is a bijection mod the power-of-two line count).
+  std::uint64_t pos = 1;
+  common::Timer timer;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    probe.access((pos % lines) * 128);
+    pos = pos * 2862933555777941757ULL + 3037000493ULL;
+  }
+  return static_cast<double>(n) / timer.seconds() / 1e6;
+}
+
+std::vector<std::uint64_t> fig2_sizes(std::uint64_t max_mb) {
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t ws = common::kib(16); ws <= common::mib(max_mb);) {
+    sizes.push_back(ws);
+    ws += ws / (ws < common::mib(16) ? 4 : 2);
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::ArgParser args(argc, argv);
+  const std::uint64_t max_mb = static_cast<std::uint64_t>(
+      args.get_int("max-mb", 512, "largest Fig. 2 working set in MiB"));
+  const std::uint64_t accesses = static_cast<std::uint64_t>(
+      args.get_int("accesses", 4 << 20, "hot-path accesses per pattern"));
+  const std::size_t threads = static_cast<std::size_t>(
+      args.get_int("threads", 0, "sweep workers (0 = hardware threads)"));
+  const std::string json_path = args.get_string(
+      "json", "BENCH_perf_simcore.json", "machine-readable output file");
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
+  bench::print_header("Perf", "simulator hot-path and sweep-engine timing");
+
+  const sim::Machine machine = sim::Machine::e870();
+
+  const double seq_macc = seq_scan_macc_per_s(machine, accesses);
+  const double chase_macc = chase_macc_per_s(machine, accesses);
+
+  const auto sizes = fig2_sizes(max_mb);
+  common::Timer timer;
+  const auto sequential =
+      ubench::memory_latency_scan(machine, sizes, 16ull << 20, /*dscr=*/1);
+  const double seq_s = timer.seconds();
+
+  sim::SweepRunner runner(threads);
+  timer.restart();
+  const auto parallel = ubench::memory_latency_scan(
+      machine, sizes, 16ull << 20, /*dscr=*/1, runner);
+  const double par_s = timer.seconds();
+
+  bool identical = sequential.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < sequential.size(); ++i)
+    identical = sequential[i].working_set_bytes ==
+                    parallel[i].working_set_bytes &&
+                sequential[i].latency_ns == parallel[i].latency_ns;
+
+  // An empty sweep (--max-mb 0) times only overhead; report 1x rather
+  // than the ratio of two noise measurements.
+  const double speedup = sizes.empty() ? 1.0 : seq_s / par_s;
+
+  common::TextTable t({"Metric", "Value"});
+  t.add_row({"seq scan (dscr 7), Macc/s", common::fmt_num(seq_macc, 1)});
+  t.add_row({"random chase (dscr 1), Macc/s", common::fmt_num(chase_macc, 1)});
+  t.add_row({"Fig. 2 sweep points", std::to_string(sizes.size())});
+  t.add_row({"sweep sequential (s)", common::fmt_num(seq_s, 2)});
+  t.add_row({"sweep parallel, " + std::to_string(runner.threads()) +
+                 " workers (s)",
+             common::fmt_num(par_s, 2)});
+  t.add_row({"sweep speedup", common::fmt_num(speedup, 2) + "x"});
+  t.add_row({"bit-identical results", identical ? "yes" : "NO"});
+  std::printf("%s\n", t.to_string().c_str());
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"perf_simcore\",\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"hotpath_accesses\": %llu,\n"
+                 "  \"seq_scan_macc_per_s\": %.3f,\n"
+                 "  \"chase_macc_per_s\": %.3f,\n"
+                 "  \"sweep_max_mb\": %llu,\n"
+                 "  \"sweep_points\": %zu,\n"
+                 "  \"sweep_sequential_s\": %.4f,\n"
+                 "  \"sweep_parallel_s\": %.4f,\n"
+                 "  \"sweep_speedup\": %.3f,\n"
+                 "  \"bit_identical\": %s\n"
+                 "}\n",
+                 runner.threads(),
+                 static_cast<unsigned long long>(accesses), seq_macc,
+                 chase_macc, static_cast<unsigned long long>(max_mb),
+                 sizes.size(), seq_s, par_s, speedup,
+                 identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("JSON written to %s\n", json_path.c_str());
+  } else {
+    std::printf("WARNING: could not write %s\n", json_path.c_str());
+  }
+  return identical ? 0 : 1;
+}

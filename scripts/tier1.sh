@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + ctest, then a perf smoke run of the
+# simulator-core harness.  Usage:
+#
+#   scripts/tier1.sh [extra cmake args...]
+#
+# e.g. scripts/tier1.sh -DP8_SANITIZE=thread
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# Perf smoke: small Fig. 2 sweep + hot-path throughput; fails if the
+# parallel sweep is not bit-identical to the sequential one.
+./build/bench/bench_perf_simcore --max-mb 16 --accesses $((1 << 20)) \
+  --json build/BENCH_perf_simcore_smoke.json

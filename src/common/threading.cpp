@@ -1,7 +1,5 @@
 #include "common/threading.hpp"
 
-#include <atomic>
-
 #include "common/error.hpp"
 
 namespace p8::common {
@@ -25,7 +23,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop(std::size_t id) {
   std::size_t seen_generation = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* job = nullptr;
+    RawJob fn = nullptr;
+    void* ctx = nullptr;
     {
       std::unique_lock lock(mutex_);
       start_cv_.wait(lock, [&] {
@@ -33,10 +32,11 @@ void ThreadPool::worker_loop(std::size_t id) {
       });
       if (stopping_) return;
       seen_generation = generation_;
-      job = job_;
+      fn = job_fn_;
+      ctx = job_ctx_;
     }
     try {
-      (*job)(id);
+      fn(ctx, id);
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -48,14 +48,15 @@ void ThreadPool::worker_loop(std::size_t id) {
   }
 }
 
-void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
+void ThreadPool::dispatch(RawJob fn, void* ctx) {
   if (threads_ == 1) {
-    body(0);
+    fn(ctx, 0);
     return;
   }
   {
     std::lock_guard lock(mutex_);
-    job_ = &body;
+    job_fn_ = fn;
+    job_ctx_ = ctx;
     remaining_ = threads_ - 1;
     first_error_ = nullptr;
     ++generation_;
@@ -64,15 +65,20 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
   // The caller is worker 0.
   std::exception_ptr own_error;
   try {
-    body(0);
+    fn(ctx, 0);
   } catch (...) {
     own_error = std::current_exception();
   }
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [&] { return remaining_ == 0; });
-  job_ = nullptr;
+  job_fn_ = nullptr;
+  job_ctx_ = nullptr;
   if (own_error) std::rethrow_exception(own_error);
   if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::require_positive_chunk(std::size_t chunk) {
+  P8_REQUIRE(chunk >= 1, "chunk must be positive");
 }
 
 std::pair<std::size_t, std::size_t> ThreadPool::static_range(
@@ -84,31 +90,6 @@ std::pair<std::size_t, std::size_t> ThreadPool::static_range(
       begin + worker * base + std::min(worker, extra);
   const std::size_t len = base + (worker < extra ? 1 : 0);
   return {lo, lo + len};
-}
-
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& body) {
-  if (end <= begin) return;
-  run_on_all([&](std::size_t w) {
-    auto [lo, hi] = static_range(begin, end, w);
-    for (std::size_t i = lo; i < hi; ++i) body(i);
-  });
-}
-
-void ThreadPool::parallel_for_dynamic(
-    std::size_t begin, std::size_t end, std::size_t chunk,
-    const std::function<void(std::size_t)>& body) {
-  if (end <= begin) return;
-  P8_REQUIRE(chunk >= 1, "chunk must be positive");
-  std::atomic<std::size_t> next{begin};
-  run_on_all([&](std::size_t) {
-    for (;;) {
-      const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
-      if (lo >= end) break;
-      const std::size_t hi = std::min(lo + chunk, end);
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }
-  });
 }
 
 std::size_t default_thread_count() {

@@ -8,11 +8,15 @@
 // (SpMV, Jaccard, Hartree-Fock) run on this pool.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace p8::common {
@@ -26,6 +30,12 @@ namespace p8::common {
 /// The calling thread participates as worker 0, so a pool of size 1
 /// never context-switches.  Exceptions thrown by the body are captured
 /// and rethrown on the calling thread (first one wins).
+///
+/// The fork-join entry points are templates dispatching through a raw
+/// function pointer + context pointer, so launching a region performs
+/// no allocation and no std::function type erasure — the body lambda
+/// lives on the caller's stack for the region's whole (blocking)
+/// lifetime.
 class ThreadPool {
  public:
   /// Creates `threads` workers (>= 1).  `threads - 1` OS threads are
@@ -39,19 +49,44 @@ class ThreadPool {
   std::size_t size() const { return threads_; }
 
   /// Runs `body(worker_id)` on every worker and waits for all.
-  void run_on_all(const std::function<void(std::size_t)>& body);
+  template <typename Body>
+  void run_on_all(Body&& body) {
+    using Stored = std::remove_reference_t<Body>;
+    dispatch(
+        [](void* ctx, std::size_t w) { (*static_cast<Stored*>(ctx))(w); },
+        const_cast<std::remove_const_t<Stored>*>(std::addressof(body)));
+  }
 
   /// Statically partitioned parallel loop over [begin, end).
   /// `body(i)` is invoked exactly once for each index.
-  void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body);
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, Body&& body) {
+    if (end <= begin) return;
+    run_on_all([&](std::size_t w) {
+      auto [lo, hi] = static_range(begin, end, w);
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
 
   /// Dynamically scheduled loop: indices are handed out in chunks of
   /// `chunk` from a shared counter — the "dynamic scheduling of small
   /// tasks" pattern from paper §III-D.
+  template <typename Body>
   void parallel_for_dynamic(std::size_t begin, std::size_t end,
-                            std::size_t chunk,
-                            const std::function<void(std::size_t)>& body);
+                            std::size_t chunk, Body&& body) {
+    if (end <= begin) return;
+    require_positive_chunk(chunk);
+    std::atomic<std::size_t> next{begin};
+    run_on_all([&](std::size_t) {
+      for (;;) {
+        const std::size_t lo =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= end) break;
+        const std::size_t hi = std::min(lo + chunk, end);
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      }
+    });
+  }
 
   /// Parallel reduction: each worker folds into a private accumulator
   /// created by `identity()`; partials are combined with `combine` on
@@ -78,7 +113,12 @@ class ThreadPool {
                                                    std::size_t worker) const;
 
  private:
+  /// A fork-join job: plain function pointer + caller-owned context.
+  using RawJob = void (*)(void*, std::size_t);
+
+  void dispatch(RawJob fn, void* ctx);
   void worker_loop(std::size_t id);
+  static void require_positive_chunk(std::size_t chunk);
 
   std::size_t threads_;
   std::vector<std::thread> workers_;
@@ -86,7 +126,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  RawJob job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
   std::size_t generation_ = 0;
   std::size_t remaining_ = 0;
   bool stopping_ = false;

@@ -1,5 +1,6 @@
 #include "sim/cache/cache.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/error.hpp"
@@ -17,42 +18,33 @@ SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, unsigned ways,
   line_shift_ = static_cast<std::uint64_t>(std::countr_zero(line_bytes_));
   sets_ = capacity_ / (static_cast<std::uint64_t>(ways_) * line_bytes_);
   P8_REQUIRE(sets_ >= 1, "capacity too small for the given geometry");
-  entries_.resize(sets_ * ways_);
+  sets_pow2_ = std::has_single_bit(sets_);
+  if (sets_pow2_) {
+    set_mask_ = sets_ - 1;
+    set_shift_ = static_cast<unsigned>(std::countr_zero(sets_));
+  }
+  tag_.resize(sets_ * ways_, 0);
+  lru_.resize(sets_ * ways_, 0);
+  state_.resize(sets_ * ways_, 0);
 }
 
-std::uint64_t SetAssocCache::set_of(std::uint64_t addr) const {
-  return (addr >> line_shift_) % sets_;
-}
-
-std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const {
-  return (addr >> line_shift_) / sets_;
-}
-
-std::uint64_t SetAssocCache::line_addr(std::uint64_t set,
-                                       std::uint64_t tag) const {
-  return (tag * sets_ + set) << line_shift_;
+std::uint64_t SetAssocCache::find_way(std::uint64_t addr) const {
+  const std::uint64_t tag = tag_of(addr);
+  const std::uint64_t base = set_of(addr) * ways_;
+  for (unsigned w = 0; w < ways_; ++w)
+    if ((state_[base + w] & kValid) && tag_[base + w] == tag) return base + w;
+  return kNoEntry;
 }
 
 bool SetAssocCache::probe(std::uint64_t addr) const {
-  const std::uint64_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  const Way* base = &entries_[set * ways_];
-  for (unsigned w = 0; w < ways_; ++w)
-    if (base[w].valid && base[w].tag == tag) return true;
-  return false;
+  return find_way(addr) != kNoEntry;
 }
 
 bool SetAssocCache::touch(std::uint64_t addr) {
-  const std::uint64_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  Way* base = &entries_[set * ways_];
-  for (unsigned w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      base[w].lru = ++clock_;
-      return true;
-    }
-  }
-  return false;
+  const std::uint64_t e = find_way(addr);
+  if (e == kNoEntry) return false;
+  lru_[e] = ++clock_;
+  return true;
 }
 
 SetAssocCache::AccessResult SetAssocCache::access(std::uint64_t addr) {
@@ -70,77 +62,67 @@ std::optional<SetAssocCache::Eviction> SetAssocCache::install_line(
     std::uint64_t addr, bool dirty) {
   const std::uint64_t set = set_of(addr);
   const std::uint64_t tag = tag_of(addr);
-  Way* base = &entries_[set * ways_];
+  const std::uint64_t base = set * ways_;
   // Reuse an existing entry (refresh), then an invalid way, then LRU.
-  Way* victim = nullptr;
+  // One pass tracks all three candidates; the victim priority (first
+  // invalid way, else first-seen minimum LRU) matches a two-pass scan.
+  std::uint64_t invalid = kNoEntry;
+  std::uint64_t oldest = base;
   for (unsigned w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      base[w].lru = ++clock_;
-      base[w].dirty = base[w].dirty || dirty;
+    const std::uint64_t e = base + w;
+    if ((state_[e] & kValid) && tag_[e] == tag) {
+      lru_[e] = ++clock_;
+      if (dirty) state_[e] |= kDirty;
       return std::nullopt;
     }
-    if (!base[w].valid && victim == nullptr) victim = &base[w];
+    if (!(state_[e] & kValid)) {
+      if (invalid == kNoEntry) invalid = e;
+    } else if (lru_[e] < lru_[oldest]) {
+      oldest = e;
+    }
   }
   std::optional<Eviction> evicted;
-  if (victim == nullptr) {
-    victim = &base[0];
-    for (unsigned w = 1; w < ways_; ++w)
-      if (base[w].lru < victim->lru) victim = &base[w];
-    evicted = Eviction{line_addr(set, victim->tag), victim->dirty};
+  std::uint64_t victim = invalid;
+  if (victim == kNoEntry) {
+    victim = oldest;
+    evicted = Eviction{line_addr(set, tag_[victim]),
+                       (state_[victim] & kDirty) != 0};
   }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->lru = ++clock_;
-  victim->dirty = dirty;
+  tag_[victim] = tag;
+  lru_[victim] = ++clock_;
+  state_[victim] = static_cast<std::uint8_t>(kValid | (dirty ? kDirty : 0));
   return evicted;
 }
 
 bool SetAssocCache::mark_dirty(std::uint64_t addr) {
-  const std::uint64_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  Way* base = &entries_[set * ways_];
-  for (unsigned w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      base[w].dirty = true;
-      return true;
-    }
-  }
-  return false;
+  const std::uint64_t e = find_way(addr);
+  if (e == kNoEntry) return false;
+  state_[e] |= kDirty;
+  return true;
 }
 
 bool SetAssocCache::is_dirty(std::uint64_t addr) const {
-  const std::uint64_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  const Way* base = &entries_[set * ways_];
-  for (unsigned w = 0; w < ways_; ++w)
-    if (base[w].valid && base[w].tag == tag) return base[w].dirty;
-  return false;
+  const std::uint64_t e = find_way(addr);
+  return e != kNoEntry && (state_[e] & kDirty) != 0;
 }
 
 bool SetAssocCache::invalidate(std::uint64_t addr) {
-  const std::uint64_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  Way* base = &entries_[set * ways_];
-  for (unsigned w = 0; w < ways_; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      base[w].valid = false;
-      return true;
-    }
-  }
-  return false;
+  const std::uint64_t e = find_way(addr);
+  if (e == kNoEntry) return false;
+  state_[e] = 0;
+  return true;
 }
 
 void SetAssocCache::clear() {
-  for (auto& e : entries_) {
-    e.valid = false;
-    e.dirty = false;
-  }
+  std::fill(tag_.begin(), tag_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  std::fill(state_.begin(), state_.end(), 0);
   clock_ = 0;
 }
 
 std::uint64_t SetAssocCache::resident_lines() const {
   std::uint64_t n = 0;
-  for (const auto& e : entries_) n += e.valid ? 1 : 0;
+  for (const auto s : state_) n += s & kValid;
   return n;
 }
 

@@ -4,6 +4,12 @@
 // (L1D, L2, local L3, the NUCA remote-L3 pool, and the Centaur L4).
 // It tracks tags only — the simulator cares about hit/miss behaviour
 // and evictions (for victim forwarding), not data contents.
+//
+// Layout is structure-of-arrays (parallel tag / LRU / state vectors,
+// row-major by set) so a way scan touches densely packed tags, and
+// set/tag extraction uses shift/mask when the set count is a power of
+// two — the common case for every POWER8 level — falling back to
+// division only for irregular geometries.
 #pragma once
 
 #include <cstdint>
@@ -63,31 +69,50 @@ class SetAssocCache {
   /// Removes the line if present; returns whether it was present.
   bool invalidate(std::uint64_t addr);
 
-  /// Drops all contents.
+  /// Drops all contents (tags, LRU clocks and the global clock all
+  /// reset to zero, so post-clear replacement order cannot be skewed
+  /// by pre-clear state).
   void clear();
 
   /// Number of valid lines currently resident.
   std::uint64_t resident_lines() const;
 
  private:
-  struct Way {
-    std::uint64_t tag = 0;
-    std::uint64_t lru = 0;  // larger = more recently used
-    bool valid = false;
-    bool dirty = false;
-  };
+  static constexpr std::uint8_t kValid = 1;
+  static constexpr std::uint8_t kDirty = 2;
+  static constexpr std::uint64_t kNoEntry = ~std::uint64_t{0};
 
-  std::uint64_t set_of(std::uint64_t addr) const;
-  std::uint64_t tag_of(std::uint64_t addr) const;
-  std::uint64_t line_addr(std::uint64_t set, std::uint64_t tag) const;
+  std::uint64_t set_of(std::uint64_t addr) const {
+    const std::uint64_t line = addr >> line_shift_;
+    return sets_pow2_ ? (line & set_mask_) : (line % sets_);
+  }
+  std::uint64_t tag_of(std::uint64_t addr) const {
+    const std::uint64_t line = addr >> line_shift_;
+    return sets_pow2_ ? (line >> set_shift_) : (line / sets_);
+  }
+  std::uint64_t line_addr(std::uint64_t set, std::uint64_t tag) const {
+    const std::uint64_t line =
+        sets_pow2_ ? ((tag << set_shift_) | set) : (tag * sets_ + set);
+    return line << line_shift_;
+  }
+
+  /// Flat entry index of the valid way holding `addr`'s line, or
+  /// kNoEntry — the one way-scan all the lookup paths share.
+  std::uint64_t find_way(std::uint64_t addr) const;
 
   std::uint64_t capacity_;
   unsigned ways_;
   std::uint64_t line_bytes_;
   std::uint64_t line_shift_;
   std::uint64_t sets_;
+  bool sets_pow2_;
+  std::uint64_t set_mask_ = 0;   // sets_ - 1 when sets_ is a power of two
+  unsigned set_shift_ = 0;       // log2(sets_) when sets_ is a power of two
   std::uint64_t clock_ = 0;
-  std::vector<Way> entries_;  // sets_ * ways_, row-major by set
+  // SoA entry storage, sets_ * ways_ each, row-major by set.
+  std::vector<std::uint64_t> tag_;
+  std::vector<std::uint64_t> lru_;   // larger = more recently used
+  std::vector<std::uint8_t> state_;  // kValid | kDirty bits
 };
 
 }  // namespace p8::sim

@@ -1,6 +1,9 @@
 #include "sim/machine/latency_probe.hpp"
 
 #include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
 
 namespace p8::sim {
 
@@ -8,12 +11,16 @@ LatencyProbe::LatencyProbe(const ProbeConfig& config)
     : config_(config),
       tlb_(config.tlb),
       memory_(config.hierarchy),
-      engine_(config.prefetch) {}
+      engine_(config.prefetch) {
+  P8_REQUIRE(std::has_single_bit(config.hierarchy.line_bytes),
+             "line size must be a power of two");
+  line_mask_ = ~(config.hierarchy.line_bytes - 1);
+}
 
 void LatencyProbe::launch(const std::vector<PrefetchRequest>& requests) {
   for (const auto& req : requests) {
     const std::uint64_t line = req.line_addr;
-    if (inflight_.count(line)) continue;
+    if (inflight_.contains(line)) continue;
     // The prefetch fills from wherever the line currently lives; a
     // line already core-adjacent needs no prefetch at all.
     const ServiceLevel src = memory_.lookup(line);
@@ -23,26 +30,25 @@ void LatencyProbe::launch(const std::vector<PrefetchRequest>& requests) {
     double fill = memory_.latency_ns(src);
     if (src == ServiceLevel::kL4 || src == ServiceLevel::kDram)
       fill += config_.remote_extra_ns;
-    inflight_.emplace(line, now_ns_ + fill);
+    inflight_.insert(line, now_ns_ + fill);
   }
 }
 
 AccessTiming LatencyProbe::access(std::uint64_t addr) {
-  const std::uint64_t line =
-      addr / config_.hierarchy.line_bytes * config_.hierarchy.line_bytes;
+  const std::uint64_t line = addr & line_mask_;
 
   AccessTiming t;
   double latency = tlb_.access_penalty_ns(addr);
 
-  if (const auto it = inflight_.find(line); it != inflight_.end()) {
+  if (const double* completion = inflight_.find(line)) {
     // A prefetch covers this line: pay the residual (if the fill is
     // still in flight) on top of an L1-adjacent hit.
-    const double residual = std::max(0.0, it->second - now_ns_);
+    const double residual = std::max(0.0, *completion - now_ns_);
     latency += config_.hierarchy.latency.l1_ns + residual;
     t.level = ServiceLevel::kL1;
     t.prefetched = true;
     memory_.install_prefetched(line);
-    inflight_.erase(it);
+    inflight_.erase(line);
   } else {
     const ServiceLevel level = memory_.access(line);
     double service = memory_.latency_ns(level);
@@ -57,14 +63,16 @@ AccessTiming LatencyProbe::access(std::uint64_t addr) {
   // access worth of latency.  The engine never prefetches the current
   // line, so feeding it before resolution is safe.
   t.latency_ns = latency;
-  launch(engine_.on_access(line));
+  engine_.on_access(line, requests_);
+  launch(requests_);
   now_ns_ += latency + config_.compute_per_access_ns;
   return t;
 }
 
 void LatencyProbe::dcbt_hint(std::uint64_t start, std::uint64_t length_bytes,
                              bool descending) {
-  launch(engine_.hint_stream(start, length_bytes, descending));
+  engine_.hint_stream(start, length_bytes, descending, requests_);
+  launch(requests_);
 }
 
 void LatencyProbe::dcbt_stop(std::uint64_t addr) { engine_.hint_stop(addr); }

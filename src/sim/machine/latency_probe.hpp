@@ -19,10 +19,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "sim/cache/hierarchy.hpp"
 #include "sim/cache/tlb.hpp"
+#include "sim/machine/inflight_table.hpp"
 #include "sim/prefetch/engine.hpp"
 
 namespace p8::sim {
@@ -74,7 +74,11 @@ class LatencyProbe {
   ChipMemoryModel memory_;
   PrefetchEngine engine_;
   /// line address -> completion time of its in-flight prefetch.
-  std::unordered_map<std::uint64_t, double> inflight_;
+  InflightTable inflight_;
+  /// Reused request buffer: the engine fills it on every access, so
+  /// keeping one alive avoids an allocation per simulated load.
+  std::vector<PrefetchRequest> requests_;
+  std::uint64_t line_mask_;  ///< ~(line_bytes - 1): line rounding
   double now_ns_ = 0.0;
 };
 

@@ -1,0 +1,12 @@
+#include "sim/machine/sweep.hpp"
+
+namespace p8::sim {
+
+SweepRunner::SweepRunner(std::size_t threads)
+    : owned_(std::make_unique<common::ThreadPool>(
+          threads ? threads : common::default_thread_count())),
+      pool_(owned_.get()) {}
+
+SweepRunner::SweepRunner(common::ThreadPool& pool) : pool_(&pool) {}
+
+}  // namespace p8::sim

@@ -1,0 +1,70 @@
+// Deterministic parallel sweep engine.
+//
+// Every figure/table bench replays millions of simulated accesses per
+// sweep point (working-set sizes for Fig. 2, DSCR depths for Fig. 6,
+// strides for Fig. 7, block sizes for Fig. 8).  The points are
+// independent — each builds its own LatencyProbe / RNG from its index
+// — so the sweep is embarrassingly parallel.  SweepRunner fans the
+// points across a common::ThreadPool and returns results in submission
+// order, making the parallel sweep bit-identical to the sequential
+// loop regardless of thread count or OS scheduling.
+//
+// The contract the caller must honour for that guarantee: the point
+// function may read shared state (a const Machine&) but must derive
+// all mutable state — probes, seeds, scratch — from its index alone.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/threading.hpp"
+
+namespace p8::sim {
+
+class SweepRunner {
+ public:
+  /// Owns a fresh pool; `threads == 0` means one worker per hardware
+  /// thread.
+  explicit SweepRunner(std::size_t threads = 0);
+
+  /// Borrows `pool` (not owned; must outlive the runner).
+  explicit SweepRunner(common::ThreadPool& pool);
+
+  std::size_t threads() const { return pool_->size(); }
+  common::ThreadPool& pool() { return *pool_; }
+
+  /// Evaluates `point(i)` for every i in [0, points) across the pool
+  /// and returns the results in submission order.  Points are handed
+  /// out one at a time from a shared counter (they are few and heavy,
+  /// and their costs vary wildly across a sweep — dynamic scheduling
+  /// keeps the tail short).
+  template <typename Fn>
+  auto run(std::size_t points, Fn&& point)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using Result = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(std::is_default_constructible_v<Result>,
+                  "sweep results must be default-constructible");
+    std::vector<Result> out(points);
+    pool_->parallel_for_dynamic(
+        0, points, 1, [&](std::size_t i) { out[i] = point(i); });
+    return out;
+  }
+
+  /// run() over an explicit grid: `point(grid[i], i)` for each element,
+  /// results in grid order.
+  template <typename T, typename Fn>
+  auto map(const std::vector<T>& grid, Fn&& point)
+      -> std::vector<std::invoke_result_t<Fn&, const T&, std::size_t>> {
+    return run(grid.size(),
+               [&](std::size_t i) { return point(grid[i], i); });
+  }
+
+ private:
+  std::unique_ptr<common::ThreadPool> owned_;
+  common::ThreadPool* pool_;
+};
+
+}  // namespace p8::sim

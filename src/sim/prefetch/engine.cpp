@@ -1,6 +1,7 @@
 #include "sim/prefetch/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.hpp"
 
@@ -33,14 +34,19 @@ int PrefetchConfig::depth_lines() const {
 }
 
 PrefetchEngine::PrefetchEngine(const PrefetchConfig& config)
-    : config_(config), streams_(config.max_streams) {
+    : config_(config),
+      depth_(config.depth_lines()),
+      streams_(config.max_streams) {
   P8_REQUIRE(config.max_streams >= 1, "need at least one stream slot");
   P8_REQUIRE(config.dscr >= 0 && config.dscr <= 7, "DSCR must be 0..7");
   P8_REQUIRE(config.confirm_touches >= 1, "need at least one confirmation");
+  P8_REQUIRE(config.line_bytes > 0 && std::has_single_bit(config.line_bytes),
+             "line size must be a power of two");
+  line_shift_ = static_cast<unsigned>(std::countr_zero(config.line_bytes));
 }
 
 void PrefetchEngine::issue_ahead(Stream& s, std::vector<PrefetchRequest>& out) {
-  const int depth = std::min(config_.depth_lines(), s.ramp);
+  const int depth = std::min(depth_, s.ramp);
   if (depth == 0 || s.stride == 0) return;
   // Keep the ramped run-ahead in flight beyond the demand pointer.
   for (int k = 1; k <= depth; ++k) {
@@ -87,12 +93,12 @@ PrefetchEngine::Stream& PrefetchEngine::allocate_stream() {
   return *victim;
 }
 
-std::vector<PrefetchRequest> PrefetchEngine::on_access(std::uint64_t addr) {
-  std::vector<PrefetchRequest> out;
-  if (config_.depth_lines() == 0) return out;
+void PrefetchEngine::on_access(std::uint64_t addr,
+                               std::vector<PrefetchRequest>& out) {
+  out.clear();
+  if (depth_ == 0) return;
 
-  const std::int64_t line =
-      static_cast<std::int64_t>(addr / config_.line_bytes);
+  const std::int64_t line = static_cast<std::int64_t>(addr >> line_shift_);
   ++clock_;
 
   Stream* s = find_stream(line);
@@ -101,10 +107,10 @@ std::vector<PrefetchRequest> PrefetchEngine::on_access(std::uint64_t addr) {
     fresh.last_line = line;
     fresh.high_water = line;
     fresh.lru = clock_;
-    return out;
+    return;
   }
   s->lru = clock_;
-  if (line == s->last_line) return out;  // same-line re-touch
+  if (line == s->last_line) return;  // same-line re-touch
 
   const std::int64_t delta = line - s->last_line;
   const bool stride_ok =
@@ -115,7 +121,7 @@ std::vector<PrefetchRequest> PrefetchEngine::on_access(std::uint64_t addr) {
     // First advance: adopt the stride if the detector accepts it.
     if (!stride_ok) {
       s->last_line = line;
-      return out;
+      return;
     }
     s->stride = delta;
     s->confirmations = 1;
@@ -129,7 +135,7 @@ std::vector<PrefetchRequest> PrefetchEngine::on_access(std::uint64_t addr) {
     s->ramp = 0;
     s->last_line = line;
     s->high_water = line;
-    return out;
+    return;
   }
 
   s->last_line = line;
@@ -138,29 +144,34 @@ std::vector<PrefetchRequest> PrefetchEngine::on_access(std::uint64_t addr) {
     s->ramp = 1;
   }
   if (s->engaged) {
-    s->ramp = std::min(s->ramp + 1, config_.depth_lines());
+    s->ramp = std::min(s->ramp + 1, depth_);
     if (s->stride > 0)
       s->high_water = std::max(s->high_water, line);
     else
       s->high_water = std::min(s->high_water, line);
     issue_ahead(*s, out);
   }
+}
+
+std::vector<PrefetchRequest> PrefetchEngine::on_access(std::uint64_t addr) {
+  std::vector<PrefetchRequest> out;
+  on_access(addr, out);
   return out;
 }
 
-std::vector<PrefetchRequest> PrefetchEngine::hint_stream(
-    std::uint64_t start, std::uint64_t length_bytes, bool descending) {
-  std::vector<PrefetchRequest> out;
-  if (config_.depth_lines() == 0 || length_bytes == 0) return out;
+void PrefetchEngine::hint_stream(std::uint64_t start,
+                                 std::uint64_t length_bytes, bool descending,
+                                 std::vector<PrefetchRequest>& out) {
+  out.clear();
+  if (depth_ == 0 || length_bytes == 0) return;
   ++clock_;
   Stream& s = allocate_stream();
-  const std::int64_t first =
-      static_cast<std::int64_t>(start / config_.line_bytes);
+  const std::int64_t first = static_cast<std::int64_t>(start >> line_shift_);
   const std::int64_t lines = static_cast<std::int64_t>(
-      (length_bytes + config_.line_bytes - 1) / config_.line_bytes);
+      (length_bytes + config_.line_bytes - 1) >> line_shift_);
   s.stride = descending ? -1 : 1;
   s.engaged = true;
-  s.ramp = config_.depth_lines();  // the whole point of the hint
+  s.ramp = depth_;  // the whole point of the hint
   s.confirmations = config_.confirm_touches;
   // Position the stream one step *before* the first element so the
   // initial burst covers the start of the array.
@@ -169,12 +180,17 @@ std::vector<PrefetchRequest> PrefetchEngine::hint_stream(
   s.end_line = descending ? first - lines : first + lines;
   s.lru = clock_;
   issue_ahead(s, out);
+}
+
+std::vector<PrefetchRequest> PrefetchEngine::hint_stream(
+    std::uint64_t start, std::uint64_t length_bytes, bool descending) {
+  std::vector<PrefetchRequest> out;
+  hint_stream(start, length_bytes, descending, out);
   return out;
 }
 
 void PrefetchEngine::hint_stop(std::uint64_t addr) {
-  const std::int64_t line =
-      static_cast<std::int64_t>(addr / config_.line_bytes);
+  const std::int64_t line = static_cast<std::int64_t>(addr >> line_shift_);
   for (auto& s : streams_) {
     if (!s.valid) continue;
     // The stream covering `addr`: its demand pointer is at or around it.

@@ -58,14 +58,22 @@ class PrefetchEngine {
 
   const PrefetchConfig& config() const { return config_; }
 
-  /// Reports a demand access to `addr`; returns the prefetches to
-  /// issue now.  Line-granular: consecutive accesses to the same line
-  /// do not advance streams.
+  /// Reports a demand access to `addr`; appends the prefetches to
+  /// issue now to `out` (which is cleared first, so callers can reuse
+  /// one buffer across accesses without reallocating).  Line-granular:
+  /// consecutive accesses to the same line do not advance streams.
+  void on_access(std::uint64_t addr, std::vector<PrefetchRequest>& out);
+
+  /// Convenience wrapper allocating a fresh result vector.
   std::vector<PrefetchRequest> on_access(std::uint64_t addr);
 
   /// DCBT stream hint: declares that [start, start + length_bytes)
   /// will be scanned in the given direction.  Installs a fully-engaged
-  /// stream and returns the initial burst of prefetches.
+  /// stream and fills `out` with the initial burst of prefetches.
+  void hint_stream(std::uint64_t start, std::uint64_t length_bytes,
+                   bool descending, std::vector<PrefetchRequest>& out);
+
+  /// Convenience wrapper allocating a fresh result vector.
   std::vector<PrefetchRequest> hint_stream(std::uint64_t start,
                                            std::uint64_t length_bytes,
                                            bool descending = false);
@@ -100,6 +108,8 @@ class PrefetchEngine {
   Stream& allocate_stream();
 
   PrefetchConfig config_;
+  int depth_;             ///< config_.depth_lines(), cached off the hot path
+  unsigned line_shift_;   ///< log2(line_bytes): line extraction by shift
   std::vector<Stream> streams_;
   std::uint64_t clock_ = 0;
 };

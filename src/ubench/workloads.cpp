@@ -105,6 +105,18 @@ std::vector<LatencyPoint> memory_latency_scan(
   return out;
 }
 
+std::vector<LatencyPoint> memory_latency_scan(
+    const sim::Machine& machine, const std::vector<std::uint64_t>& sizes,
+    std::uint64_t page_bytes, int dscr, sim::SweepRunner& runner) {
+  return runner.map(sizes, [&](const std::uint64_t ws, std::size_t) {
+    ChaseOptions options;
+    options.working_set_bytes = ws;
+    options.page_bytes = page_bytes;
+    options.dscr = dscr;
+    return LatencyPoint{ws, chase_latency_ns(machine, options)};
+  });
+}
+
 double stride_latency_ns(const sim::Machine& machine,
                          const StrideOptions& options) {
   P8_REQUIRE(options.stride_lines >= 1, "stride must be positive");

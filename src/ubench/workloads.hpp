@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/machine/machine.hpp"
+#include "sim/machine/sweep.hpp"
 
 namespace p8::ubench {
 
@@ -62,6 +63,13 @@ struct LatencyPoint {
 std::vector<LatencyPoint> memory_latency_scan(
     const sim::Machine& machine, const std::vector<std::uint64_t>& sizes,
     std::uint64_t page_bytes, int dscr = 1);
+
+/// Parallel variant: fans the working-set points across `runner`.
+/// Each point builds its own probe, so the result is bit-identical to
+/// the sequential overload (the determinism the sweep tests pin down).
+std::vector<LatencyPoint> memory_latency_scan(
+    const sim::Machine& machine, const std::vector<std::uint64_t>& sizes,
+    std::uint64_t page_bytes, int dscr, sim::SweepRunner& runner);
 
 struct StrideOptions {
   std::uint64_t stride_lines = 256;   ///< paper uses a stride-256 stream

@@ -1,0 +1,152 @@
+// Determinism tests for the parallel sweep engine: SweepRunner output
+// must be bit-identical to the sequential loop for the Fig. 2 and
+// Fig. 7 sweep configurations, and the ThreadPool fork-join primitives
+// it builds on must propagate exceptions and combine reductions in
+// worker order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/threading.hpp"
+#include "common/units.hpp"
+#include "sim/machine/sweep.hpp"
+#include "ubench/workloads.hpp"
+
+namespace p8 {
+namespace {
+
+TEST(Sweep, Fig2ScanBitIdenticalToSequential) {
+  const sim::Machine machine = sim::Machine::e870();
+  // A reduced Fig. 2 grid (16 KB .. 4 MB) covering L1/L2/L3 and the
+  // ERAT spike region, for both page sizes.
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t ws = common::kib(16); ws <= common::mib(4); ws += ws / 2)
+    sizes.push_back(ws);
+
+  for (const std::uint64_t page :
+       {std::uint64_t{64} * 1024, std::uint64_t{16} << 20}) {
+    const auto seq =
+        ubench::memory_latency_scan(machine, sizes, page, /*dscr=*/1);
+    sim::SweepRunner runner(4);
+    const auto par =
+        ubench::memory_latency_scan(machine, sizes, page, /*dscr=*/1, runner);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(seq[i].working_set_bytes, par[i].working_set_bytes);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(seq[i].latency_ns, par[i].latency_ns) << "point " << i;
+    }
+  }
+}
+
+TEST(Sweep, Fig7StrideGridBitIdenticalToSequential) {
+  const sim::Machine machine = sim::Machine::e870();
+  auto point = [&](std::size_t i) {
+    ubench::StrideOptions opt;
+    opt.dscr = 2 + static_cast<int>(i / 2);
+    opt.stride_n = (i % 2) != 0;
+    opt.accesses = 20000;  // reduced grid, same structure as the bench
+    return ubench::stride_latency_ns(machine, opt);
+  };
+
+  std::vector<double> seq;
+  for (std::size_t i = 0; i < 12; ++i) seq.push_back(point(i));
+
+  sim::SweepRunner runner(3);
+  const auto par = runner.run(12, point);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    EXPECT_EQ(seq[i], par[i]) << "point " << i;
+}
+
+TEST(Sweep, RepeatedRunsAreIdentical) {
+  const sim::Machine machine = sim::Machine::e870();
+  auto point = [&](std::size_t i) {
+    ubench::ChaseOptions opt;
+    opt.working_set_bytes = common::kib(64) << i;
+    return ubench::chase_latency_ns(machine, opt);
+  };
+  sim::SweepRunner a(4);
+  sim::SweepRunner b(2);
+  EXPECT_EQ(a.run(4, point), b.run(4, point));
+}
+
+TEST(Sweep, MapPassesGridValuesInOrder) {
+  sim::SweepRunner runner(4);
+  const std::vector<int> grid = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto out = runner.map(
+      grid, [](int v, std::size_t i) { return v * 10 + static_cast<int>(i); });
+  ASSERT_EQ(out.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_EQ(out[i], grid[i] * 10 + static_cast<int>(i));
+}
+
+TEST(Sweep, BorrowedPoolIsShared) {
+  common::ThreadPool pool(2);
+  sim::SweepRunner runner(pool);
+  EXPECT_EQ(runner.threads(), 2u);
+  EXPECT_EQ(&runner.pool(), &pool);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after a throwing region.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DynamicForPropagatesWorkerExceptions) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_dynamic(0, 1000, 1,
+                                         [](std::size_t i) {
+                                           if (i == 999)
+                                             throw std::invalid_argument("x");
+                                         }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, ReduceCombinesInWorkerOrder) {
+  // A non-commutative reduction (sequence concatenation): worker-order
+  // combining must reproduce the sequential order exactly, every run.
+  common::ThreadPool pool(4);
+  const std::size_t n = 1000;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto out = pool.parallel_reduce<std::vector<std::size_t>>(
+        0, n, [] { return std::vector<std::size_t>{}; },
+        [](std::vector<std::size_t>& acc, std::size_t i) { acc.push_back(i); },
+        [](std::vector<std::size_t>& into,
+           const std::vector<std::size_t>& part) {
+          into.insert(into.end(), part.begin(), part.end());
+        });
+    std::vector<std::size_t> expected(n);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(ThreadPool, ReduceFloatSumIsRunToRunDeterministic) {
+  common::ThreadPool pool(3);
+  auto sum = [&] {
+    return pool.parallel_reduce<double>(
+        0, 10000, [] { return 0.0; },
+        [](double& acc, std::size_t i) {
+          acc += 1.0 / static_cast<double>(i + 1);
+        },
+        [](double& into, const double& part) { into += part; });
+  };
+  const double first = sum();
+  for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(sum(), first);
+}
+
+}  // namespace
+}  // namespace p8

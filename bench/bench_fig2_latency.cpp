@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   common::ArgParser args(argc, argv);
   const std::uint64_t max_mb = static_cast<std::uint64_t>(
       args.get_int("max-mb", 512, "largest working set in MiB"));
+  const std::string counters_path = bench::counters_path_arg(args);
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
     return 0;
@@ -41,11 +42,13 @@ int main(int argc, char** argv) {
 
   // Both page-size scans fan out over one pool; results come back in
   // working-set order, bit-identical to the sequential loop.
+  sim::CounterRegistry counters;
+  sim::CounterRegistry* reg = counters_path.empty() ? nullptr : &counters;
   sim::SweepRunner runner;
   const auto regular = ubench::memory_latency_scan(machine, sizes, 64 * 1024,
-                                                   /*dscr=*/1, runner);
+                                                   /*dscr=*/1, runner, reg);
   const auto huge = ubench::memory_latency_scan(machine, sizes, 16ull << 20,
-                                                /*dscr=*/1, runner);
+                                                /*dscr=*/1, runner, reg);
 
   common::TextTable t(
       {"Working set", "64 KB pages (ns)", "16 MB pages (ns)", "profile"});
@@ -63,5 +66,6 @@ int main(int argc, char** argv) {
       "64MB, L4 shoulder to 128MB, DRAM beyond.  The 64KB-page column\n"
       "should exceed the 16MB-page column around 3-6MB (ERAT reach = 48 x\n"
       "64KB = 3MB) — the paper's 'small spike at the 3MB data point'.\n");
+  bench::write_counters(counters, counters_path, "fig2");
   return 0;
 }

@@ -4,20 +4,32 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sim/machine/machine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  const std::string counters_path = bench::counters_path_arg(args);
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
   const sim::Machine machine = sim::Machine::e870();
   const sim::RwMix mix{2, 1};
+  // Counter-attachable copy; solves identically to machine.memory().
+  sim::CounterRegistry counters;
+  sim::MemoryBandwidthModel mem = machine.memory();
+  if (!counters_path.empty()) mem.attach_counters(&counters);
 
   bench::print_header("Figure 3a",
                       "single-core bandwidth vs threads per core (2:1 mix)");
   common::TextTable a({"Threads/core", "Bandwidth (GB/s)"});
   for (int t = 1; t <= 8; ++t)
     a.add_row({std::to_string(t),
-               common::fmt_num(machine.memory().stream_gbs(1, 1, t, mix), 1)});
+               common::fmt_num(mem.stream_gbs(1, 1, t, mix), 1)});
   std::printf("%s", a.to_string().c_str());
   std::printf("Paper: a single core peaks at ~26 GB/s.\n\n");
 
@@ -28,12 +40,13 @@ int main() {
     std::vector<std::string> row{std::to_string(cores)};
     for (int smt : {1, 2, 4, 8})
       row.push_back(common::fmt_num(
-          machine.memory().stream_gbs(1, cores, smt, mix), 0));
+          mem.stream_gbs(1, cores, smt, mix), 0));
     b.add_row(row);
   }
   std::printf("%s", b.to_string().c_str());
   std::printf("Paper: the chip maximum of ~189 GB/s needs all cores AND all "
               "threads.\nModel maximum: %.0f GB/s.\n",
-              machine.memory().stream_gbs(1, 8, 8, mix));
+              mem.stream_gbs(1, 8, 8, mix));
+  bench::write_counters(counters, counters_path, "fig3");
   return 0;
 }

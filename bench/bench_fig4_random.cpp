@@ -4,16 +4,27 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sim/machine/machine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  const std::string counters_path = bench::counters_path_arg(args);
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
   bench::print_header(
       "Figure 4", "random-access bandwidth vs SMT x lists/thread (64 cores)");
 
   const sim::Machine machine = sim::Machine::e870();
-  const auto& mem = machine.memory();
+  // Counter-attachable copy; solves identically to machine.memory().
+  sim::CounterRegistry counters;
+  sim::MemoryBandwidthModel mem = machine.memory();
+  if (!counters_path.empty()) mem.attach_counters(&counters);
 
   common::TextTable t({"Lists/thread", "SMT1", "SMT2", "SMT4", "SMT8"});
   double best = 0.0;
@@ -35,5 +46,6 @@ int main() {
       "outstanding lines per thread; SMT8 saturates with only 4 lists while\n"
       "SMT4 needs ~16 — the paper's argument for 8-way SMT.\n",
       best, 100.0 * best / read_peak, read_peak);
+  bench::write_counters(counters, counters_path, "fig4");
   return 0;
 }

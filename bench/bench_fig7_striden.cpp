@@ -4,26 +4,38 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sim/machine/machine.hpp"
 #include "sim/machine/sweep.hpp"
 #include "ubench/workloads.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  const std::string counters_path = bench::counters_path_arg(args);
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
   bench::print_header(
       "Figure 7", "stride-256 stream latency: stride-N detection on vs off");
 
   const sim::Machine machine = sim::Machine::e870();
 
   // Sweep grid: (dscr 2..7) x (stride-N off, on), fanned over a pool.
+  sim::CounterRegistry counters;
+  sim::CounterRegistry* reg = counters_path.empty() ? nullptr : &counters;
   sim::SweepRunner runner;
-  const auto lat = runner.run(12, [&](std::size_t i) {
-    ubench::StrideOptions opt;
-    opt.dscr = 2 + static_cast<int>(i / 2);
-    opt.stride_n = (i % 2) != 0;
-    return ubench::stride_latency_ns(machine, opt);
-  });
+  const auto lat =
+      runner.run_counted(12, reg, [&](std::size_t i, sim::CounterRegistry* r) {
+        ubench::StrideOptions opt;
+        opt.dscr = 2 + static_cast<int>(i / 2);
+        opt.stride_n = (i % 2) != 0;
+        opt.counters = r;
+        return ubench::stride_latency_ns(machine, opt);
+      });
 
   common::TextTable t({"DSCR depth", "stride-N off (ns)", "stride-N on (ns)"});
   for (int dscr = 2; dscr <= 7; ++dscr) {
@@ -41,5 +53,6 @@ int main() {
       "the deepest setting.  The conclusion — the detector removes most\n"
       "of the memory latency — reproduces.\n",
       machine.noc().memory_latency_ns(0, 0) + 0.7, lat[11]);
+  bench::write_counters(counters, counters_path, "fig7");
   return 0;
 }

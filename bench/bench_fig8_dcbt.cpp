@@ -5,13 +5,21 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sim/machine/machine.hpp"
 #include "sim/machine/sweep.hpp"
 #include "ubench/workloads.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  const std::string counters_path = bench::counters_path_arg(args);
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
   bench::print_header("Figure 8",
                       "random-block scan bandwidth with and without DCBT");
 
@@ -21,14 +29,18 @@ int main() {
                                  8192, 16384, 32768, 65536};
   // Normalize to the best large-block figure, as the paper plots
   // percent of peak.  Sweep grid: (block size) x (plain, DCBT-hinted).
+  sim::CounterRegistry counters;
+  sim::CounterRegistry* reg = counters_path.empty() ? nullptr : &counters;
   sim::SweepRunner runner;
-  const auto bw = runner.run(2 * std::size(sizes), [&](std::size_t i) {
-    ubench::DcbtOptions opt;
-    opt.block_bytes = sizes[i / 2];
-    opt.total_bytes = 32ull << 20;
-    opt.use_dcbt = (i % 2) != 0;
-    return ubench::dcbt_block_bandwidth_gbs(machine, opt);
-  });
+  const auto bw = runner.run_counted(
+      2 * std::size(sizes), reg, [&](std::size_t i, sim::CounterRegistry* r) {
+        ubench::DcbtOptions opt;
+        opt.block_bytes = sizes[i / 2];
+        opt.total_bytes = 32ull << 20;
+        opt.use_dcbt = (i % 2) != 0;
+        opt.counters = r;
+        return ubench::dcbt_block_bandwidth_gbs(machine, opt);
+      });
   double peak = 0.0;
   std::vector<std::pair<double, double>> results;
   for (std::size_t i = 0; i < std::size(sizes); ++i) {
@@ -50,5 +62,6 @@ int main() {
   std::printf("Paper: DCBT gains exceed 25%% for small arrays (the hardware\n"
               "detector engages too late) and become negligible for large\n"
               "ones.\n");
+  bench::write_counters(counters, counters_path, "fig8");
   return 0;
 }

@@ -4,15 +4,27 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sim/machine/machine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  const std::string counters_path = bench::counters_path_arg(args);
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
   bench::print_header("Table III",
                       "memory bandwidth vs read:write ratio (64 cores, SMT8)");
 
   const sim::Machine machine = sim::Machine::e870();
+  // Counter-attachable copy; solves identically to machine.memory().
+  sim::CounterRegistry counters;
+  sim::MemoryBandwidthModel mem = machine.memory();
+  if (!counters_path.empty()) mem.attach_counters(&counters);
   struct Row {
     const char* name;
     sim::RwMix mix;
@@ -29,16 +41,17 @@ int main() {
   common::TextTable t({"Read:Write ratio", "Model (GB/s)", "Paper (GB/s)",
                        "Model/Paper"});
   for (const Row& r : rows) {
-    const double bw = machine.memory().system_stream_gbs(r.mix);
+    const double bw = mem.system_stream_gbs(r.mix);
     t.add_row({r.name, common::fmt_num(bw, 0), common::fmt_num(r.paper, 0),
                common::fmt_num(bw / r.paper, 2)});
   }
   std::printf("%s\n", t.to_string().c_str());
 
   const double peak = machine.spec().peak_mem_gbs();
-  const double best = machine.memory().system_stream_gbs({2, 1});
+  const double best = mem.system_stream_gbs({2, 1});
   std::printf("Best mix 2:1 = %.0f GB/s = %.0f%% of the %.0f GB/s spec peak "
               "(paper: 1,472 GB/s, 80%%).\n",
               best, 100.0 * best / peak, peak);
+  bench::write_counters(counters, counters_path, "table3");
   return 0;
 }

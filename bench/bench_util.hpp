@@ -5,9 +5,12 @@
 #pragma once
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
+#include "common/cli.hpp"
 #include "common/table.hpp"
+#include "sim/counters.hpp"
 
 namespace p8::bench {
 
@@ -23,6 +26,31 @@ inline std::string vs_paper(double value, double paper, int digits = 0) {
   return common::fmt_num(value, digits) + " (paper " +
          common::fmt_num(paper, digits) + ", " +
          common::fmt_num(100.0 * value / paper, 0) + "%)";
+}
+
+/// Declares the shared `--counters` flag: a path to dump the bench's
+/// event counters to, "" (the default) meaning counting stays off.
+inline std::string counters_path_arg(common::ArgParser& args) {
+  return args.get_string(
+      "counters", "",
+      "dump simulator event counters here (.csv => CSV, else JSON)");
+}
+
+/// Writes `registry` to `path`, picking the format from the extension
+/// (".csv" => CSV, anything else => JSON tagged with `bench`).  No-op
+/// for an empty path, so benches can call it unconditionally.
+inline void write_counters(const sim::CounterRegistry& registry,
+                           const std::string& path,
+                           const std::string& bench) {
+  if (path.empty()) return;
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const std::string body = csv ? registry.to_csv() : registry.to_json(bench);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("cannot write counters to " + path);
+  std::fputs(body.c_str(), f);
+  std::fclose(f);
 }
 
 }  // namespace p8::bench

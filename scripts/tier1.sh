@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + ctest, then a perf smoke run of the
-# simulator-core harness.  Usage:
+# simulator-core harness, the fidelity regression gate, and an ASan
+# build of the counter-enabled sweep tests.  Usage:
 #
 #   scripts/tier1.sh [extra cmake args...]
 #
@@ -17,3 +18,21 @@ cmake --build build -j
 # parallel sweep is not bit-identical to the sequential one.
 ./build/bench/bench_perf_simcore --max-mb 16 --accesses $((1 << 20)) \
   --json build/BENCH_perf_simcore_smoke.json
+
+# Fidelity gate: every modelled paper quantity inside its calibrated
+# tolerance (documented deviations report ALLOWED), counter identities
+# intact.  Non-zero exit on any new drift.
+./build/bench/bench_fidelity_report --gate
+
+# Baseline drift: a fresh --json run must match the checked-in
+# BENCH_fidelity.json bit for bit.
+./build/bench/bench_fidelity_report --json build/BENCH_fidelity.json
+diff -u BENCH_fidelity.json build/BENCH_fidelity.json
+
+# Memory-safety pass: AddressSanitizer build of the counter layer and
+# the parallel sweep engine (the two places this repo shares registry
+# slots and fans work across threads).
+cmake -B build-asan -S . -DP8_SANITIZE=address
+cmake --build build-asan -j --target sim_counters_test sweep_test
+./build-asan/tests/sim_counters_test
+./build-asan/tests/sweep_test

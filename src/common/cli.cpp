@@ -40,7 +40,11 @@ std::int64_t ArgParser::get_int(const std::string& name, std::int64_t def,
   if (it == given_.end()) return def;
   consumed_[name] = true;
   try {
-    return std::stoll(it->second);
+    // Full-consumption parse: "10x" must be rejected, not read as 10.
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
   } catch (const std::exception&) {
     throw std::invalid_argument("--" + name + " expects an integer, got '" +
                                 it->second + "'");
@@ -58,7 +62,10 @@ double ArgParser::get_double(const std::string& name, double def,
   if (it == given_.end()) return def;
   consumed_[name] = true;
   try {
-    return std::stod(it->second);
+    std::size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
   } catch (const std::exception&) {
     throw std::invalid_argument("--" + name + " expects a number, got '" +
                                 it->second + "'");
@@ -70,7 +77,13 @@ bool ArgParser::get_flag(const std::string& name, const std::string& help) {
   const auto it = given_.find(name);
   if (it == given_.end()) return false;
   consumed_[name] = true;
-  return it->second.empty() || it->second == "1" || it->second == "true";
+  const std::string& v = it->second;
+  // Anything else (e.g. --flag=yes) used to read as *false*, silently
+  // inverting the user's intent.
+  if (v.empty() || v == "1" || v == "true") return true;
+  if (v == "0" || v == "false") return false;
+  throw std::invalid_argument("--" + name + " expects a boolean (bare, 0, 1, "
+                              "true or false), got '" + v + "'");
 }
 
 bool ArgParser::finish() const {

@@ -87,29 +87,39 @@ ChipMemoryModel::ChipMemoryModel(const HierarchyConfig& config)
 }
 
 void ChipMemoryModel::cast_into_victim(const SetAssocCache::Eviction& line) {
+  events_.l3_evict.add();
   // A line leaving the on-chip SRAM: clean copies vanish (a valid copy
   // exists in L4/DRAM), dirty ones cross the Centaur write link.
   auto leave_sram = [&](const SetAssocCache::Eviction& out) {
     if (!out.dirty) return;
     ++counters_.memlink_line_writes;
+    events_.memlink_write.add();
     if (config_.l4_enabled) {
       if (const auto ev4 = l4_.install_line(out.line, /*dirty=*/true);
-          ev4 && ev4->dirty)
+          ev4 && ev4->dirty) {
         ++counters_.dram_writes;
+        events_.dram_write.add();
+      }
     } else {
       ++counters_.dram_writes;
+      events_.dram_write.add();
     }
   };
   if (config_.victim_l3) {
-    if (const auto evv = l3_victim_.install_line(line.line, line.dirty))
+    if (const auto evv = l3_victim_.install_line(line.line, line.dirty)) {
+      events_.l3_victim_evict.add();
       leave_sram(*evv);
+    }
   } else {
     leave_sram(line);
   }
 }
 
 void ChipMemoryModel::cast_into_l3(const SetAssocCache::Eviction& line) {
-  if (line.dirty) ++counters_.l2_writebacks;
+  if (line.dirty) {
+    ++counters_.l2_writebacks;
+    events_.l2_writeback.add();
+  }
   if (const auto ev3 = l3_.install_line(line.line, line.dirty))
     cast_into_victim(*ev3);
 }
@@ -127,6 +137,7 @@ void ChipMemoryModel::fill_upper(std::uint64_t addr) {
 
 ServiceLevel ChipMemoryModel::locate_and_fill(std::uint64_t addr) {
   if (l3_.touch(addr)) {
+    events_.l3_local_hit.add();
     l1_.install(addr);
     // Fill L2 with a clean copy; any dirty state stays with the L3
     // copy until it is evicted.
@@ -134,6 +145,7 @@ ServiceLevel ChipMemoryModel::locate_and_fill(std::uint64_t addr) {
     return ServiceLevel::kL3Local;
   }
   if (config_.victim_l3 && l3_victim_.probe(addr)) {
+    events_.l3_victim_hit.add();
     // Victim hit: the line migrates back to the requesting core.
     const bool dirty = l3_victim_.is_dirty(addr);
     l3_victim_.invalidate(addr);
@@ -143,8 +155,11 @@ ServiceLevel ChipMemoryModel::locate_and_fill(std::uint64_t addr) {
       cast_into_victim(*ev3);
     return ServiceLevel::kL3Remote;
   }
+  events_.l3_miss.add();
   if (config_.l4_enabled && l4_.touch(addr)) {
     ++counters_.memlink_line_reads;
+    events_.l4_hit.add();
+    events_.memlink_read.add();
     fill_upper(addr);
     return ServiceLevel::kL4;
   }
@@ -152,10 +167,15 @@ ServiceLevel ChipMemoryModel::locate_and_fill(std::uint64_t addr) {
   // the way through.
   ++counters_.memlink_line_reads;
   ++counters_.dram_reads;
+  events_.dram_fill.add();
+  events_.memlink_read.add();
+  events_.dram_read.add();
   if (config_.l4_enabled) {
     if (const auto ev4 = l4_.install_line(addr, /*dirty=*/false);
-        ev4 && ev4->dirty)
+        ev4 && ev4->dirty) {
       ++counters_.dram_writes;
+      events_.dram_write.add();
+    }
   }
   fill_upper(addr);
   return ServiceLevel::kDram;
@@ -163,23 +183,33 @@ ServiceLevel ChipMemoryModel::locate_and_fill(std::uint64_t addr) {
 
 ServiceLevel ChipMemoryModel::access(std::uint64_t addr) {
   ++counters_.loads;
-  if (l1_.touch(addr)) return ServiceLevel::kL1;
+  events_.loads.add();
+  if (l1_.touch(addr)) {
+    events_.l1_hit.add();
+    return ServiceLevel::kL1;
+  }
+  events_.l1_miss.add();
   if (l2_.touch(addr)) {
+    events_.l2_hit.add();
     l1_.install(addr);
     return ServiceLevel::kL2;
   }
+  events_.l2_miss.add();
   return locate_and_fill(addr);
 }
 
 ServiceLevel ChipMemoryModel::access_write(std::uint64_t addr) {
   ++counters_.stores;
+  events_.stores.add();
   // Store-through L1: the L1 copy (if any) is updated but never holds
   // the only dirty copy; the store lands in the store-in L2.
-  l1_.touch(addr);
+  (l1_.touch(addr) ? events_.l1_hit : events_.l1_miss).add();
   if (l2_.touch(addr)) {
+    events_.l2_hit.add();
     l2_.mark_dirty(addr);
     return ServiceLevel::kL2;
   }
+  events_.l2_miss.add();
   // Write-allocate: fetch the line, then dirty it in L2.
   const ServiceLevel from = locate_and_fill(addr);
   l2_.mark_dirty(addr);
@@ -197,8 +227,33 @@ ServiceLevel ChipMemoryModel::lookup(std::uint64_t addr) const {
 }
 
 void ChipMemoryModel::install_prefetched(std::uint64_t addr) {
+  events_.prefetch_install.add();
   if (config_.l4_enabled) l4_.install(addr);
   fill_upper(addr);
+}
+
+void ChipMemoryModel::attach_counters(CounterRegistry* registry,
+                                      const std::string& prefix) {
+  const std::string p = prefix + ".";
+  events_.loads = make_counter(registry, p, "loads");
+  events_.stores = make_counter(registry, p, "stores");
+  events_.l1_hit = make_counter(registry, p, "l1.hit");
+  events_.l1_miss = make_counter(registry, p, "l1.miss");
+  events_.l2_hit = make_counter(registry, p, "l2.hit");
+  events_.l2_miss = make_counter(registry, p, "l2.miss");
+  events_.l2_writeback = make_counter(registry, p, "l2.writeback");
+  events_.l3_local_hit = make_counter(registry, p, "l3.local.hit");
+  events_.l3_victim_hit = make_counter(registry, p, "l3.victim.hit");
+  events_.l3_miss = make_counter(registry, p, "l3.miss");
+  events_.l3_evict = make_counter(registry, p, "l3.evict");
+  events_.l3_victim_evict = make_counter(registry, p, "l3.victim.evict");
+  events_.l4_hit = make_counter(registry, p, "l4.hit");
+  events_.dram_fill = make_counter(registry, p, "dram.fill");
+  events_.memlink_read = make_counter(registry, p, "memlink.read.lines");
+  events_.memlink_write = make_counter(registry, p, "memlink.write.lines");
+  events_.dram_read = make_counter(registry, p, "dram.read.lines");
+  events_.dram_write = make_counter(registry, p, "dram.write.lines");
+  events_.prefetch_install = make_counter(registry, p, "prefetch.install");
 }
 
 void ChipMemoryModel::clear() {

@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "arch/spec.hpp"
 #include "sim/cache/cache.hpp"
+#include "sim/counters.hpp"
 
 namespace p8::sim {
 
@@ -108,6 +110,20 @@ class ChipMemoryModel {
   const TrafficCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = TrafficCounters{}; }
 
+  /// Exposes per-level events under `<prefix>.`:
+  ///   loads / stores                      — demand accesses
+  ///   l1.hit / l1.miss                    — L1 lookups (identity:
+  ///                                         hit + miss == loads + stores)
+  ///   l2.hit / l2.miss / l2.writeback     — store-in L2 traffic
+  ///   l3.local.hit / l3.victim.hit / l3.miss
+  ///   l3.evict / l3.victim.evict          — NUCA cast-out chain
+  ///   l4.hit / dram.fill                  — memory-side service
+  ///   memlink.read.lines / memlink.write.lines
+  ///   dram.read.lines / dram.write.lines
+  ///   prefetch.install                    — prefetched line fills
+  void attach_counters(CounterRegistry* registry,
+                       const std::string& prefix = "cache");
+
   /// Latency, in ns, of a load serviced at `level`.
   double latency_ns(ServiceLevel level) const {
     return config_.latency.of(level);
@@ -135,6 +151,15 @@ class ChipMemoryModel {
   SetAssocCache l3_victim_;  // other cores' regions acting as victims
   SetAssocCache l4_;
   TrafficCounters counters_;
+  struct {
+    Counter loads, stores;
+    Counter l1_hit, l1_miss;
+    Counter l2_hit, l2_miss, l2_writeback;
+    Counter l3_local_hit, l3_victim_hit, l3_miss, l3_evict, l3_victim_evict;
+    Counter l4_hit, dram_fill;
+    Counter memlink_read, memlink_write, dram_read, dram_write;
+    Counter prefetch_install;
+  } events_;
 };
 
 }  // namespace p8::sim

@@ -29,12 +29,29 @@ Tlb::Tlb(const TlbConfig& config)
 }
 
 TlbOutcome Tlb::translate(std::uint64_t addr) {
-  if (erat_.touch(addr)) return TlbOutcome::kEratHit;
+  if (erat_.touch(addr)) {
+    events_.erat_hit.add();
+    return TlbOutcome::kEratHit;
+  }
+  events_.erat_miss.add();
   const bool tlb_hit = tlb_.touch(addr);
   erat_.install(addr);
-  if (tlb_hit) return TlbOutcome::kTlbHit;
+  if (tlb_hit) {
+    events_.tlb_hit.add();
+    return TlbOutcome::kTlbHit;
+  }
+  events_.walk.add();
   tlb_.install(addr);
   return TlbOutcome::kWalk;
+}
+
+void Tlb::attach_counters(CounterRegistry* registry,
+                          const std::string& prefix) {
+  const std::string p = prefix + ".";
+  events_.erat_hit = make_counter(registry, p, "erat.hit");
+  events_.erat_miss = make_counter(registry, p, "erat.miss");
+  events_.tlb_hit = make_counter(registry, p, "tlb.hit");
+  events_.walk = make_counter(registry, p, "walk");
 }
 
 double Tlb::penalty_ns(TlbOutcome outcome) const {

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/cache/cache.hpp"
+#include "sim/counters.hpp"
 
 namespace p8::sim {
 
@@ -44,12 +46,23 @@ class Tlb {
     return penalty_ns(translate(addr));
   }
 
+  /// Exposes translation events under `<prefix>.`:
+  ///   erat.hit / erat.miss   — first-level reach (the Fig. 2 spike)
+  ///   tlb.hit / walk         — where the ERAT miss was serviced
+  /// Invariants: erat.hit + erat.miss == translations and
+  /// erat.miss == tlb.hit + walk.
+  void attach_counters(CounterRegistry* registry,
+                       const std::string& prefix = "tlb");
+
   void clear();
 
  private:
   TlbConfig config_;
   SetAssocCache erat_;
   SetAssocCache tlb_;
+  struct {
+    Counter erat_hit, erat_miss, tlb_hit, walk;
+  } events_;
 };
 
 }  // namespace p8::sim

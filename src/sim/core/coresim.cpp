@@ -65,14 +65,24 @@ FmaLoopResult CoreSim::run_fma_loop(int threads, int fmas_per_loop,
   const std::int64_t warmup = latency;
   const std::int64_t horizon = warmup + static_cast<std::int64_t>(cycles);
   std::uint64_t retired = 0;
+  // Accumulated locally and flushed once: the cycle loop stays free of
+  // pointer-chasing whether or not a registry is attached.
+  std::uint64_t busy = 0, idle = 0, spills = 0;
 
   for (std::int64_t cycle = 0; cycle < horizon; ++cycle) {
     for (int p = 0; p < pipes; ++p) {
       auto& candidates = pool[static_cast<std::size_t>(p)];
-      if (candidates.empty()) continue;
-      if (pipe_free[static_cast<std::size_t>(p)] > cycle) continue;
+      if (candidates.empty()) {
+        if (cycle >= warmup) ++idle;
+        continue;
+      }
+      if (pipe_free[static_cast<std::size_t>(p)] > cycle) {
+        if (cycle >= warmup) ++busy;  // occupied by a spilled FMA
+        continue;
+      }
       // Round-robin scan for a ready chain.
       const std::size_t n = candidates.size();
+      bool issued = false;
       for (std::size_t k = 0; k < n; ++k) {
         const std::size_t idx =
             candidates[(rr[static_cast<std::size_t>(p)] + k) % n];
@@ -83,16 +93,24 @@ FmaLoopResult CoreSim::run_fma_loop(int threads, int fmas_per_loop,
         if (spill_acc >= 1.0) {
           spill_acc -= 1.0;
           occupancy += config_.rename_stall_cycles;
+          if (cycle >= warmup) ++spills;
         }
         chain.ready_at = cycle + latency + (occupancy - 1);
         pipe_free[static_cast<std::size_t>(p)] = cycle + occupancy;
         rr[static_cast<std::size_t>(p)] =
             (rr[static_cast<std::size_t>(p)] + k + 1) % n;
         if (cycle >= warmup) ++retired;
+        issued = true;
         break;
       }
+      if (cycle >= warmup) issued ? ++busy : ++idle;
     }
   }
+
+  events_.retired.add(retired);
+  events_.busy.add(busy);
+  events_.idle.add(idle);
+  events_.spill.add(spills);
 
   FmaLoopResult result;
   result.retired = retired;
@@ -101,6 +119,15 @@ FmaLoopResult CoreSim::run_fma_loop(int threads, int fmas_per_loop,
       static_cast<double>(retired) /
       (static_cast<double>(cycles) * static_cast<double>(pipes));
   return result;
+}
+
+void CoreSim::attach_counters(CounterRegistry* registry,
+                              const std::string& prefix) {
+  const std::string p = prefix + ".";
+  events_.retired = make_counter(registry, p, "fma.retired");
+  events_.busy = make_counter(registry, p, "issue.busy_cycles");
+  events_.idle = make_counter(registry, p, "issue.idle_cycles");
+  events_.spill = make_counter(registry, p, "regfile.spill_stalls");
 }
 
 }  // namespace p8::sim

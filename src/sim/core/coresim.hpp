@@ -24,8 +24,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "arch/spec.hpp"
+#include "sim/counters.hpp"
 
 namespace p8::sim {
 
@@ -65,8 +67,26 @@ class CoreSim {
     return 2 * threads * fmas_per_loop;
   }
 
+  /// Exposes per-run issue accounting under `<prefix>.` (measured
+  /// post-warm-up, so `fma.retired` matches FmaLoopResult::retired):
+  ///   fma.retired           — instructions completing
+  ///   issue.busy_cycles     — pipe-cycles spent issuing or occupied
+  ///                           by a multi-cycle (spilled) FMA
+  ///   issue.idle_cycles     — pipe-cycles with no ready chain
+  ///                           (dependency / thread-set starvation)
+  ///   regfile.spill_stalls  — issues paying the second-level
+  ///                           register-storage penalty
+  /// Invariant: busy + idle == pipes * cycles for every run.
+  void attach_counters(CounterRegistry* registry,
+                       const std::string& prefix = "core");
+
  private:
   CoreSimConfig config_;
+  /// Run accounting is observability, not simulator state: run_fma_loop
+  /// stays const while flushing totals through these handles.
+  mutable struct {
+    Counter retired, busy, idle, spill;
+  } events_;
 };
 
 }  // namespace p8::sim

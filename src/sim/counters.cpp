@@ -1,0 +1,65 @@
+#include "sim/counters.hpp"
+
+#include <sstream>
+
+namespace p8::sim {
+
+std::uint64_t* CounterRegistry::slot(const std::string& name) {
+  return &counters_[name];
+}
+
+std::uint64_t CounterRegistry::value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool CounterRegistry::contains(const std::string& name) const {
+  return counters_.count(name) != 0;
+}
+
+void CounterRegistry::reset() {
+  for (auto& [name, value] : counters_) {
+    (void)name;
+    value = 0;
+  }
+}
+
+std::uint64_t CounterRegistry::sum_prefix(const std::string& prefix) const {
+  std::uint64_t sum = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    sum += it->second;
+  }
+  return sum;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
+    const {
+  return {counters_.begin(), counters_.end()};
+}
+
+void CounterRegistry::merge(const CounterRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+}
+
+std::string CounterRegistry::to_json(const std::string& bench) const {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+std::string CounterRegistry::to_csv() const {
+  std::ostringstream out;
+  out << "counter,value\n";
+  for (const auto& [name, value] : counters_)
+    out << name << "," << value << "\n";
+  return out.str();
+}
+
+}  // namespace p8::sim

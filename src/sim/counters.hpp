@@ -1,0 +1,98 @@
+// Simulator-wide event-counter layer.
+//
+// Every simulator component can expose its internal events — cache
+// hits per level, ERAT/TLB misses, prefetch stream life cycles, NoC
+// link loads, memory-link occupancy, core issue stalls — as named
+// counters in a CounterRegistry.  The registry is the observability
+// backbone for the fidelity gate: when a headline ratio drifts, the
+// counters say *which* mechanism moved.
+//
+// Design rules:
+//
+//  * Zero overhead when disabled.  Components hold nullable Counter
+//    handles; an unattached handle is a null pointer and the hot-path
+//    cost is one predictable branch.  Attaching is explicit
+//    (`attach_counters(&registry, "prefix")`), so default-constructed
+//    components behave — and benchmark — exactly as before.
+//  * Hierarchical dotted names (`cache.l3.victim.hit`,
+//    `noc.xbus.0-1.ab.mbs`), so a dump groups naturally and prefix
+//    sums are meaningful.
+//  * Deterministic.  Snapshots are name-sorted; merging registries
+//    sums by name and is order-insensitive, so fanning a sweep across
+//    a thread pool and merging per-point registries in submission
+//    order reproduces the sequential counts bit for bit.
+//
+// Slot pointers are stable for the registry's lifetime (std::map nodes
+// never move), which is what lets components cache them at attach time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace p8::sim {
+
+class CounterRegistry {
+ public:
+  /// Stable pointer to the named counter, created at zero on first use.
+  std::uint64_t* slot(const std::string& name);
+
+  /// Current value; 0 for a name that was never created.
+  std::uint64_t value(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::size_t size() const { return counters_.size(); }
+  bool empty() const { return counters_.empty(); }
+
+  /// Zeroes every counter (names stay registered, slots stay valid).
+  void reset();
+
+  /// Sum over all counters whose name starts with `prefix`.
+  std::uint64_t sum_prefix(const std::string& prefix) const;
+
+  /// Name-sorted (name, value) pairs.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+  /// Adds every counter of `other` into this registry (creating names
+  /// as needed).  Merging N registries gives the same result in any
+  /// order — addition on disjointly-produced events commutes.
+  void merge(const CounterRegistry& other);
+
+  /// {"bench": "<bench>", "counters": {"a.b": 1, ...}} with one
+  /// counter per line, name-sorted.
+  std::string to_json(const std::string& bench) const;
+
+  /// "counter,value" CSV with a header line, name-sorted.
+  std::string to_csv() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// Nullable increment handle.  Components keep one per event; a
+/// default-constructed handle (counters disabled) makes add() a no-op.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+
+  void add(std::uint64_t n = 1) {
+    if (slot_) *slot_ += n;
+  }
+  bool attached() const { return slot_ != nullptr; }
+
+ private:
+  std::uint64_t* slot_ = nullptr;
+};
+
+/// Resolves `prefix + name` in `registry`, or a detached handle when
+/// `registry` is null — the one-liner every attach_counters() uses.
+inline Counter make_counter(CounterRegistry* registry,
+                            const std::string& prefix,
+                            const std::string& name) {
+  return registry ? Counter(registry->slot(prefix + name)) : Counter();
+}
+
+}  // namespace p8::sim

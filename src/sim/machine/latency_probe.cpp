@@ -58,6 +58,9 @@ AccessTiming LatencyProbe::access(std::uint64_t addr) {
     t.level = level;
   }
 
+  events_.accesses.add();
+  if (t.prefetched) events_.prefetched.add();
+
   // Prefetches launch when the demand access is *seen* (its start),
   // overlapping with the access itself — so even depth 1 hides one
   // access worth of latency.  The engine never prefetches the current
@@ -76,6 +79,14 @@ void LatencyProbe::dcbt_hint(std::uint64_t start, std::uint64_t length_bytes,
 }
 
 void LatencyProbe::dcbt_stop(std::uint64_t addr) { engine_.hint_stop(addr); }
+
+void LatencyProbe::attach_counters(CounterRegistry* registry) {
+  tlb_.attach_counters(registry);
+  memory_.attach_counters(registry);
+  engine_.attach_counters(registry);
+  events_.accesses = make_counter(registry, "probe.", "accesses");
+  events_.prefetched = make_counter(registry, "probe.", "prefetched_hits");
+}
 
 void LatencyProbe::reset() {
   tlb_.clear();

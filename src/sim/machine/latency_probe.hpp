@@ -66,6 +66,13 @@ class LatencyProbe {
   /// Resets caches, TLB, engine, clock and in-flight prefetches.
   void reset();
 
+  /// Attaches the whole probe stack to one registry: the TLB under
+  /// `tlb.`, the hierarchy under `cache.`, the prefetch engine under
+  /// `prefetch.dscr<k>.`, plus the probe's own `probe.accesses` and
+  /// `probe.prefetched_hits` (accesses serviced out of an in-flight
+  /// or completed prefetch).
+  void attach_counters(CounterRegistry* registry);
+
  private:
   void launch(const std::vector<PrefetchRequest>& requests);
 
@@ -80,6 +87,9 @@ class LatencyProbe {
   std::vector<PrefetchRequest> requests_;
   std::uint64_t line_mask_;  ///< ~(line_bytes - 1): line rounding
   double now_ns_ = 0.0;
+  struct {
+    Counter accesses, prefetched;
+  } events_;
 };
 
 }  // namespace p8::sim

@@ -43,7 +43,9 @@ LatencyProbe Machine::probe(const ProbeOptions& options) const {
   config.remote_extra_ns =
       topology_.min_latency_ns(options.home_chip, options.consumer_chip);
   config.compute_per_access_ns = options.compute_per_access_ns;
-  return LatencyProbe(config);
+  LatencyProbe probe(config);
+  if (options.counters != nullptr) probe.attach_counters(options.counters);
+  return probe;
 }
 
 }  // namespace p8::sim

@@ -25,6 +25,10 @@ struct ProbeOptions {
   bool victim_l3 = true;   ///< ablation hook
   bool l4_enabled = true;  ///< ablation hook
   double compute_per_access_ns = 0.0;
+  /// When set, the probe stack (TLB, caches, prefetch engine) records
+  /// its events here; null (the default) compiles the probe with every
+  /// counter detached — zero overhead, bit-identical results.
+  CounterRegistry* counters = nullptr;
 };
 
 class Machine {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/threading.hpp"
+#include "sim/counters.hpp"
 
 namespace p8::sim {
 
@@ -60,6 +61,28 @@ class SweepRunner {
       -> std::vector<std::invoke_result_t<Fn&, const T&, std::size_t>> {
     return run(grid.size(),
                [&](std::size_t i) { return point(grid[i], i); });
+  }
+
+  /// run() with counter collection: `point(i, registry)` gets a
+  /// private CounterRegistry per sweep point, and after the parallel
+  /// run every per-point registry is merged into `into` in index
+  /// order.  Because each point's registry is private (no cross-thread
+  /// sharing) and the merge order is the submission order — never the
+  /// completion order — the merged totals are identical for any worker
+  /// count, including 1.  Pass `into == nullptr` to run with counting
+  /// disabled (the point function receives nullptr, so probes attach
+  /// nothing and the sweep behaves exactly like run()).
+  template <typename Fn>
+  auto run_counted(std::size_t points, CounterRegistry* into, Fn&& point)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t,
+                                          CounterRegistry*>> {
+    if (into == nullptr)
+      return run(points, [&](std::size_t i) { return point(i, nullptr); });
+    std::vector<CounterRegistry> local(points);
+    auto out =
+        run(points, [&](std::size_t i) { return point(i, &local[i]); });
+    for (auto& registry : local) into->merge(registry);
+    return out;
   }
 
  private:

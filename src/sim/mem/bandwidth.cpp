@@ -63,10 +63,36 @@ double MemoryBandwidthModel::stream_gbs(int chips, int cores, int threads,
              "thread count");
   P8_REQUIRE(mix.read >= 0 && mix.write >= 0 && mix.read + mix.write > 0,
              "mix must have traffic");
-  double bw = concurrency_cap_gbs(chips, cores, threads, dscr);
-  bw = std::min(bw, read_link_cap_gbs(chips, mix));
-  bw = std::min(bw, write_link_cap_gbs(chips, mix));
-  bw = std::min(bw, fabric_cap_gbs(chips));
+  const double conc = concurrency_cap_gbs(chips, cores, threads, dscr);
+  const double rlink = read_link_cap_gbs(chips, mix);
+  const double wlink = write_link_cap_gbs(chips, mix);
+  const double fabric = fabric_cap_gbs(chips);
+  const double bw = std::min(std::min(conc, rlink), std::min(wlink, fabric));
+
+  if (counters_ != nullptr) {
+    auto note = [&](const char* name, std::uint64_t n) {
+      *counters_->slot(counter_prefix_ + "." + name) += n;
+    };
+    auto permille = [](double x) {
+      return static_cast<std::uint64_t>(std::llround(1000.0 * x));
+    };
+    note("stream.solves", 1);
+    // Ties count every binder; the epsilon absorbs min() rounding.
+    const double close = bw * (1.0 + 1e-12);
+    if (conc <= close) note("bound.concurrency", 1);
+    if (rlink <= close) note("bound.read_link", 1);
+    if (wlink <= close) note("bound.write_link", 1);
+    if (fabric <= close) note("bound.fabric", 1);
+    if (std::isfinite(rlink))
+      note("read_link.occupancy.permille", permille(bw / rlink));
+    if (std::isfinite(wlink))
+      note("write_link.occupancy.permille", permille(bw / wlink));
+    const double fr = mix.read_fraction();
+    const double fw = mix.write_fraction();
+    note("turnaround.loss.permille",
+         permille(params_.turnaround_coeff * 4.0 * fr * fw /
+                  params_.write_link_eff));
+  }
   return bw;
 }
 
@@ -87,7 +113,19 @@ double MemoryBandwidthModel::random_gbs(int chips, int cores, int threads,
   // ...approaching the row-activate service bound along the standard
   // closed-network interpolation.
   const double cap = chips * params_.random_row_cap_gbs;
-  return cap * (1.0 - std::exp(-raw / cap));
+  const double bw = cap * (1.0 - std::exp(-raw / cap));
+  if (counters_ != nullptr) {
+    *counters_->slot(counter_prefix_ + ".random.solves") += 1;
+    *counters_->slot(counter_prefix_ + ".random.rowcap.permille") +=
+        static_cast<std::uint64_t>(std::llround(1000.0 * bw / cap));
+  }
+  return bw;
+}
+
+void MemoryBandwidthModel::attach_counters(CounterRegistry* registry,
+                                           const std::string& prefix) {
+  counters_ = registry;
+  counter_prefix_ = prefix;
 }
 
 }  // namespace p8::sim

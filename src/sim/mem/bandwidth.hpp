@@ -27,7 +27,10 @@
 // X = cap * (1 - exp(-raw/cap)).  This produces the Fig. 4 surface.
 #pragma once
 
+#include <string>
+
 #include "arch/spec.hpp"
+#include "sim/counters.hpp"
 
 namespace p8::sim {
 
@@ -86,9 +89,28 @@ class MemoryBandwidthModel {
   double concurrency_cap_gbs(int chips, int cores, int threads,
                              int dscr) const;
 
+  /// Exposes per-solve accounting under `<prefix>.`:
+  ///   stream.solves / random.solves     — model evaluations
+  ///   bound.concurrency / bound.read_link / bound.write_link /
+  ///   bound.fabric                      — which mechanism was binding
+  ///                                       (ties count every binder)
+  ///   read_link.occupancy.permille / write_link.occupancy.permille
+  ///                                     — link utilisation at solution,
+  ///                                       accumulated in 1/1000ths
+  ///   turnaround.loss.permille          — write-efficiency lost to
+  ///                                       read/write turnaround
+  ///   random.rowcap.permille            — how close a random solve ran
+  ///                                       to the row-activate bound
+  void attach_counters(CounterRegistry* registry,
+                       const std::string& prefix = "mem");
+
  private:
   arch::SystemSpec spec_;
   MemBandwidthParams params_;
+  /// Observability sink; owned by the caller, mutated from the const
+  /// solver methods (registry state is not model state).
+  CounterRegistry* counters_ = nullptr;
+  std::string counter_prefix_;
 };
 
 }  // namespace p8::sim

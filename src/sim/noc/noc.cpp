@@ -142,7 +142,42 @@ double NocModel::max_uniform_flow_gbs(const std::vector<FlowSpec>& flows,
     if (ingest[chip] > 0.0)
       v = std::min(v, params_.ingest_cap_gbs / ingest[chip]);
   }
+
+  if (counters_ != nullptr) record_solution(load, ingest, v);
   return v;
+}
+
+void NocModel::record_solution(const std::map<std::pair<int, bool>, double>& load,
+                               const std::vector<double>& ingest,
+                               double v) const {
+  // Rates are scaled to integral MB/s so the counters stay exact
+  // event-counter semantics (uint64 adds, commutative merge).
+  *counters_->slot(counter_prefix_ + ".solves") += 1;
+  for (const auto& [key, coeff] : load) {
+    if (coeff <= 0.0) continue;
+    const arch::Link& link = topology_.link(key.first);
+    const std::string name =
+        counter_prefix_ + (link.kind == arch::LinkKind::kXBus ? ".xbus." : ".abus.") +
+        std::to_string(link.chip_a) + "-" + std::to_string(link.chip_b) +
+        (key.second ? ".ab" : ".ba");
+    const double gbs = v * coeff;
+    *counters_->slot(name + ".mbs") +=
+        static_cast<std::uint64_t>(std::llround(gbs * 1000.0));
+    if (gbs >= 0.999 * usable_link_cap_gbs(key.first))
+      *counters_->slot(name + ".saturated") += 1;
+  }
+  for (std::size_t chip = 0; chip < ingest.size(); ++chip) {
+    if (ingest[chip] <= 0.0) continue;
+    if (v * ingest[chip] >= 0.999 * params_.ingest_cap_gbs)
+      *counters_->slot(counter_prefix_ + ".ingest.chip" +
+                       std::to_string(chip) + ".saturated") += 1;
+  }
+}
+
+void NocModel::attach_counters(CounterRegistry* registry,
+                               const std::string& prefix) {
+  counters_ = registry;
+  counter_prefix_ = prefix;
 }
 
 double NocModel::one_direction_gbs(int a, int b) const {

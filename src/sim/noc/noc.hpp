@@ -27,9 +27,13 @@
 // budget) saturates.
 #pragma once
 
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/topology.hpp"
+#include "sim/counters.hpp"
 
 namespace p8::sim {
 
@@ -93,14 +97,33 @@ class NocModel {
   double memory_latency_prefetched_ns(int consumer, int home,
                                       int dscr = 0) const;
 
+  /// Exposes per-solve flow accounting under `<prefix>.`:
+  ///   solves                       — scenarios solved
+  ///   <x|a>bus.<a>-<b>.<ab|ba>.mbs — data carried per directed link,
+  ///                                  accumulated in MB/s at solution
+  ///   <x|a>bus.<a>-<b>.<ab|ba>.saturated — solves where that directed
+  ///                                  link was a binding constraint
+  ///   ingest.chip<k>.saturated     — solves bound by a chip's ingest cap
+  /// The model is analytic, so "bytes" are flow rates at the solved
+  /// operating point, not event streams; conservation still holds (the
+  /// first hop of a single-route flow carries exactly the flow value).
+  void attach_counters(CounterRegistry* registry,
+                       const std::string& prefix = "noc");
+
  private:
   std::vector<arch::Route> routes_for(int home, int consumer,
                                       bool direct_only) const;
   double route_capacity_gbs(const arch::Route& route) const;
   double usable_link_cap_gbs(int link_id) const;
+  void record_solution(const std::map<std::pair<int, bool>, double>& load,
+                       const std::vector<double>& ingest, double v) const;
 
   arch::Topology topology_;
   NocParams params_;
+  /// Observability sink; the registry is owned by the caller and the
+  /// solver methods stay const (they mutate the registry, not the model).
+  CounterRegistry* counters_ = nullptr;
+  std::string counter_prefix_;
 };
 
 }  // namespace p8::sim

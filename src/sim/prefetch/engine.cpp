@@ -59,6 +59,7 @@ void PrefetchEngine::issue_ahead(Stream& s, std::vector<PrefetchRequest>& out) {
     }
     if (line < 0) break;
     out.push_back({static_cast<std::uint64_t>(line) * config_.line_bytes});
+    events_.issued.add();
     s.high_water = line;
   }
 }
@@ -88,6 +89,8 @@ PrefetchEngine::Stream& PrefetchEngine::allocate_stream() {
     }
     if (s.lru < victim->lru) victim = &s;
   }
+  events_.alloc.add();
+  if (victim->valid) events_.drop.add();  // a live stream loses its slot
   *victim = Stream{};
   victim->valid = true;
   return *victim;
@@ -125,12 +128,16 @@ void PrefetchEngine::on_access(std::uint64_t addr,
     }
     s->stride = delta;
     s->confirmations = 1;
+    events_.confirm.add();
   } else if (delta == s->stride) {
     ++s->confirmations;
+    events_.confirm.add();
   } else {
     // Broken pattern: restart detection from here.
+    if (s->engaged) events_.drop.add();
     s->stride = stride_ok ? delta : 0;
     s->confirmations = stride_ok ? 1 : 0;
+    if (s->confirmations) events_.confirm.add();
     s->engaged = false;
     s->ramp = 0;
     s->last_line = line;
@@ -142,6 +149,7 @@ void PrefetchEngine::on_access(std::uint64_t addr,
   if (!s->engaged && s->confirmations >= config_.confirm_touches) {
     s->engaged = true;
     s->ramp = 1;
+    events_.engage.add();
   }
   if (s->engaged) {
     s->ramp = std::min(s->ramp + 1, depth_);
@@ -165,6 +173,7 @@ void PrefetchEngine::hint_stream(std::uint64_t start,
   out.clear();
   if (depth_ == 0 || length_bytes == 0) return;
   ++clock_;
+  events_.hint_install.add();
   Stream& s = allocate_stream();
   const std::int64_t first = static_cast<std::int64_t>(start >> line_shift_);
   const std::int64_t lines = static_cast<std::int64_t>(
@@ -195,9 +204,25 @@ void PrefetchEngine::hint_stop(std::uint64_t addr) {
     if (!s.valid) continue;
     // The stream covering `addr`: its demand pointer is at or around it.
     if (std::abs(s.last_line - line) <= std::abs(s.stride) + 1 ||
-        s.high_water == line)
+        s.high_water == line) {
       s = Stream{};
+      events_.hint_stop.add();
+    }
   }
+}
+
+void PrefetchEngine::attach_counters(CounterRegistry* registry,
+                                     const std::string& prefix) {
+  // The DSCR setting is part of the namespace: a depth sweep merges
+  // its per-point registries without the depths clobbering each other.
+  const std::string p = prefix + ".dscr" + std::to_string(config_.dscr) + ".";
+  events_.alloc = make_counter(registry, p, "stream.alloc");
+  events_.drop = make_counter(registry, p, "stream.drop");
+  events_.confirm = make_counter(registry, p, "stream.confirm");
+  events_.engage = make_counter(registry, p, "stream.engage");
+  events_.issued = make_counter(registry, p, "issued");
+  events_.hint_install = make_counter(registry, p, "hint.install");
+  events_.hint_stop = make_counter(registry, p, "hint.stop");
 }
 
 void PrefetchEngine::clear() {

@@ -26,7 +26,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "sim/counters.hpp"
 
 namespace p8::sim {
 
@@ -87,6 +90,18 @@ class PrefetchEngine {
   /// Streams currently tracked (for tests).
   unsigned active_streams() const;
 
+  /// Exposes stream life-cycle events under `<prefix>.dscr<k>.` (the
+  /// depth is baked into the name so a DSCR sweep merges cleanly):
+  ///   stream.alloc   — slots claimed for a new stream
+  ///   stream.drop    — streams torn down before use was exhausted
+  ///                    (LRU victim, broken pattern, DCBT stop)
+  ///   stream.confirm — constant-stride confirmations observed
+  ///   stream.engage  — streams crossing the confirmation threshold
+  ///   issued         — prefetch requests emitted
+  ///   hint.install / hint.stop — DCBT traffic
+  void attach_counters(CounterRegistry* registry,
+                       const std::string& prefix = "prefetch");
+
  private:
   struct Stream {
     bool valid = false;
@@ -112,6 +127,9 @@ class PrefetchEngine {
   unsigned line_shift_;   ///< log2(line_bytes): line extraction by shift
   std::vector<Stream> streams_;
   std::uint64_t clock_ = 0;
+  struct {
+    Counter alloc, drop, confirm, engage, issued, hint_install, hint_stop;
+  } events_;
 };
 
 }  // namespace p8::sim

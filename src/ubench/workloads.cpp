@@ -43,6 +43,7 @@ double chase_latency_ns(const sim::Machine& machine,
   probe_options.stride_n = options.stride_n;
   probe_options.home_chip = options.home_chip;
   probe_options.consumer_chip = options.consumer_chip;
+  probe_options.counters = options.counters;
   sim::LatencyProbe probe = machine.probe(probe_options);
 
   // Build the chase chain: next[i] is the line visited after line i.
@@ -92,7 +93,7 @@ double chase_latency_ns(const sim::Machine& machine,
 
 std::vector<LatencyPoint> memory_latency_scan(
     const sim::Machine& machine, const std::vector<std::uint64_t>& sizes,
-    std::uint64_t page_bytes, int dscr) {
+    std::uint64_t page_bytes, int dscr, sim::CounterRegistry* counters) {
   std::vector<LatencyPoint> out;
   out.reserve(sizes.size());
   for (const std::uint64_t ws : sizes) {
@@ -100,6 +101,7 @@ std::vector<LatencyPoint> memory_latency_scan(
     options.working_set_bytes = ws;
     options.page_bytes = page_bytes;
     options.dscr = dscr;
+    options.counters = counters;
     out.push_back({ws, chase_latency_ns(machine, options)});
   }
   return out;
@@ -107,14 +109,18 @@ std::vector<LatencyPoint> memory_latency_scan(
 
 std::vector<LatencyPoint> memory_latency_scan(
     const sim::Machine& machine, const std::vector<std::uint64_t>& sizes,
-    std::uint64_t page_bytes, int dscr, sim::SweepRunner& runner) {
-  return runner.map(sizes, [&](const std::uint64_t ws, std::size_t) {
-    ChaseOptions options;
-    options.working_set_bytes = ws;
-    options.page_bytes = page_bytes;
-    options.dscr = dscr;
-    return LatencyPoint{ws, chase_latency_ns(machine, options)};
-  });
+    std::uint64_t page_bytes, int dscr, sim::SweepRunner& runner,
+    sim::CounterRegistry* counters) {
+  return runner.run_counted(
+      sizes.size(), counters,
+      [&](std::size_t i, sim::CounterRegistry* registry) {
+        ChaseOptions options;
+        options.working_set_bytes = sizes[i];
+        options.page_bytes = page_bytes;
+        options.dscr = dscr;
+        options.counters = registry;
+        return LatencyPoint{sizes[i], chase_latency_ns(machine, options)};
+      });
 }
 
 double stride_latency_ns(const sim::Machine& machine,
@@ -126,6 +132,7 @@ double stride_latency_ns(const sim::Machine& machine,
   probe_options.page_bytes = options.page_bytes;
   probe_options.dscr = options.dscr;
   probe_options.stride_n = options.stride_n;
+  probe_options.counters = options.counters;
   sim::LatencyProbe probe = machine.probe(probe_options);
 
   // Scan forward touching every stride_lines-th line; the footprint is
@@ -156,6 +163,7 @@ double dcbt_block_bandwidth_gbs(const sim::Machine& machine,
   sim::ProbeOptions probe_options;
   probe_options.page_bytes = options.page_bytes;
   probe_options.dscr = options.dscr;
+  probe_options.counters = options.counters;
   sim::LatencyProbe probe = machine.probe(probe_options);
 
   // Random visiting order over blocks.

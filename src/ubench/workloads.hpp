@@ -47,6 +47,8 @@ struct ChaseOptions {
   std::uint64_t warm_accesses = 4u << 20;
   std::uint64_t measure_accesses = 1u << 20;
   std::uint64_t seed = 42;
+  /// Optional event sink for the probe stack (null = counting off).
+  sim::CounterRegistry* counters = nullptr;
 };
 
 /// Average load-to-use latency of a randomized pointer chase (every
@@ -62,14 +64,19 @@ struct LatencyPoint {
 };
 std::vector<LatencyPoint> memory_latency_scan(
     const sim::Machine& machine, const std::vector<std::uint64_t>& sizes,
-    std::uint64_t page_bytes, int dscr = 1);
+    std::uint64_t page_bytes, int dscr = 1,
+    sim::CounterRegistry* counters = nullptr);
 
 /// Parallel variant: fans the working-set points across `runner`.
 /// Each point builds its own probe, so the result is bit-identical to
 /// the sequential overload (the determinism the sweep tests pin down).
+/// With `counters`, each point records into a private registry and the
+/// registries merge in point order, so the totals are also identical
+/// to the sequential overload for any worker count.
 std::vector<LatencyPoint> memory_latency_scan(
     const sim::Machine& machine, const std::vector<std::uint64_t>& sizes,
-    std::uint64_t page_bytes, int dscr, sim::SweepRunner& runner);
+    std::uint64_t page_bytes, int dscr, sim::SweepRunner& runner,
+    sim::CounterRegistry* counters = nullptr);
 
 struct StrideOptions {
   std::uint64_t stride_lines = 256;   ///< paper uses a stride-256 stream
@@ -77,6 +84,8 @@ struct StrideOptions {
   std::uint64_t page_bytes = 16ull << 20;  ///< huge pages: isolate prefetch
   int dscr = 7;
   bool stride_n = false;
+  /// Optional event sink for the probe stack (null = counting off).
+  sim::CounterRegistry* counters = nullptr;
 };
 
 /// Average latency of a strided sequential scan (Fig. 7): only every
@@ -91,6 +100,8 @@ struct DcbtOptions {
   int dscr = 0;  ///< hardware default prefetching stays on
   std::uint64_t page_bytes = 16ull << 20;
   std::uint64_t seed = 7;
+  /// Optional event sink for the probe stack (null = counting off).
+  sim::CounterRegistry* counters = nullptr;
 };
 
 /// Achieved read bandwidth (GB/s, single thread) of the random-block

@@ -362,6 +362,54 @@ TEST(Cli, BadIntegerRejected) {
   EXPECT_THROW(p.get_int("n", 0, ""), std::invalid_argument);
 }
 
+TEST(Cli, TrailingGarbageIntegerRejected) {
+  // Regression: "--trials 10x" parsed as 10 (std::stoll stops at the
+  // first non-digit); it must be an error in both argument forms.
+  {
+    const char* argv[] = {"prog", "--n=10x"};
+    ArgParser p(2, argv);
+    EXPECT_THROW(p.get_int("n", 0, ""), std::invalid_argument);
+  }
+  {
+    const char* argv[] = {"prog", "--trials", "10x"};
+    ArgParser p(3, argv);
+    EXPECT_THROW(p.get_int("trials", 0, ""), std::invalid_argument);
+  }
+}
+
+TEST(Cli, TrailingGarbageDoubleRejected) {
+  const char* argv[] = {"prog", "--x=1.5q"};
+  ArgParser p(2, argv);
+  EXPECT_THROW(p.get_double("x", 0.0, ""), std::invalid_argument);
+}
+
+TEST(Cli, WellFormedNumbersStillParse) {
+  const char* argv[] = {"prog", "--n=-7", "--x=2.5e3"};
+  ArgParser p(3, argv);
+  EXPECT_EQ(p.get_int("n", 0, ""), -7);
+  EXPECT_DOUBLE_EQ(p.get_double("x", 0.0, ""), 2.5e3);
+  EXPECT_FALSE(p.finish());
+}
+
+TEST(Cli, FlagLiterals) {
+  // Regression: "--v=yes" used to read as *false*; only the documented
+  // literals are accepted now.
+  {
+    const char* argv[] = {"prog", "--a=1", "--b=true", "--c=0", "--d=false"};
+    ArgParser p(5, argv);
+    EXPECT_TRUE(p.get_flag("a", ""));
+    EXPECT_TRUE(p.get_flag("b", ""));
+    EXPECT_FALSE(p.get_flag("c", ""));
+    EXPECT_FALSE(p.get_flag("d", ""));
+    EXPECT_FALSE(p.finish());
+  }
+  {
+    const char* argv[] = {"prog", "--v=yes"};
+    ArgParser p(2, argv);
+    EXPECT_THROW(p.get_flag("v", ""), std::invalid_argument);
+  }
+}
+
 TEST(Cli, HelpRequested) {
   const char* argv[] = {"prog", "--help"};
   ArgParser p(2, argv);

@@ -1,0 +1,316 @@
+// Tests for the simulator-wide event-counter layer: registry
+// semantics, component invariants, determinism of the parallel merge,
+// and the zero-overhead contract (identical results with counting on
+// and off).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "common/units.hpp"
+#include "sim/counters.hpp"
+#include "sim/core/coresim.hpp"
+#include "sim/machine/machine.hpp"
+#include "sim/machine/sweep.hpp"
+#include "sim/mem/bandwidth.hpp"
+#include "sim/noc/noc.hpp"
+#include "ubench/workloads.hpp"
+
+namespace p8::sim {
+namespace {
+
+// ------------------------------------------------------------ registry ----
+
+TEST(CounterRegistry, SlotCreatesAtZeroAndIsStable) {
+  CounterRegistry reg;
+  std::uint64_t* a = reg.slot("x.y");
+  EXPECT_EQ(*a, 0u);
+  *a += 3;
+  // Creating other names must not move existing slots (map nodes).
+  for (int i = 0; i < 100; ++i) reg.slot("fill." + std::to_string(i));
+  EXPECT_EQ(a, reg.slot("x.y"));
+  EXPECT_EQ(reg.value("x.y"), 3u);
+  EXPECT_EQ(reg.value("never.created"), 0u);
+}
+
+TEST(CounterRegistry, SnapshotIsNameSorted) {
+  CounterRegistry reg;
+  *reg.slot("b") = 2;
+  *reg.slot("a") = 1;
+  *reg.slot("c") = 3;
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "a");
+  EXPECT_EQ(snap[1].first, "b");
+  EXPECT_EQ(snap[2].first, "c");
+}
+
+TEST(CounterRegistry, SumPrefixAndReset) {
+  CounterRegistry reg;
+  *reg.slot("cache.l1.hit") = 5;
+  *reg.slot("cache.l1.miss") = 7;
+  *reg.slot("cache.l2.hit") = 11;
+  *reg.slot("tlb.walk") = 13;
+  EXPECT_EQ(reg.sum_prefix("cache.l1."), 12u);
+  EXPECT_EQ(reg.sum_prefix("cache."), 23u);
+  EXPECT_EQ(reg.sum_prefix(""), 36u);
+  reg.reset();
+  EXPECT_EQ(reg.sum_prefix(""), 0u);
+  EXPECT_TRUE(reg.contains("tlb.walk"));  // names survive a reset
+}
+
+TEST(CounterRegistry, MergeIsOrderInsensitive) {
+  CounterRegistry a, b, ab, ba;
+  *a.slot("x") = 1;
+  *a.slot("shared") = 10;
+  *b.slot("y") = 2;
+  *b.slot("shared") = 20;
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.snapshot(), ba.snapshot());
+  EXPECT_EQ(ab.value("shared"), 30u);
+  EXPECT_EQ(ab.value("x"), 1u);
+  EXPECT_EQ(ab.value("y"), 2u);
+}
+
+TEST(CounterRegistry, JsonAndCsvShapes) {
+  CounterRegistry reg;
+  *reg.slot("a.b") = 42;
+  const std::string json = reg.to_json("mybench");
+  EXPECT_NE(json.find("\"bench\": \"mybench\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.b\": 42"), std::string::npos);
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("counter,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("a.b,42\n"), std::string::npos);
+  // Empty registry still emits valid JSON.
+  EXPECT_NE(CounterRegistry{}.to_json("x").find("\"counters\": {}"),
+            std::string::npos);
+}
+
+TEST(Counter, DetachedHandleIsANoOp) {
+  Counter c;
+  EXPECT_FALSE(c.attached());
+  c.add();     // must not crash
+  c.add(100);  // must not crash
+  CounterRegistry reg;
+  Counter d = make_counter(&reg, "p.", "q");
+  EXPECT_TRUE(d.attached());
+  d.add(2);
+  EXPECT_EQ(reg.value("p.q"), 2u);
+  EXPECT_FALSE(make_counter(nullptr, "p.", "q").attached());
+}
+
+// -------------------------------------------------- component invariants ----
+
+TEST(CacheCounters, HitMissIdentityOnChase) {
+  const Machine machine = Machine::e870();
+  CounterRegistry reg;
+  ubench::ChaseOptions opt;
+  opt.working_set_bytes = 4u << 20;  // L3-and-beyond footprint
+  opt.counters = &reg;
+  (void)ubench::chase_latency_ns(machine, opt);
+
+  const std::uint64_t accesses =
+      reg.value("cache.loads") + reg.value("cache.stores");
+  EXPECT_GT(accesses, 0u);
+  // Every access looks up the L1 exactly once.
+  EXPECT_EQ(reg.value("cache.l1.hit") + reg.value("cache.l1.miss"), accesses);
+  // Every L1 miss looks up the L2 exactly once.
+  EXPECT_EQ(reg.value("cache.l2.hit") + reg.value("cache.l2.miss"),
+            reg.value("cache.l1.miss"));
+  // Every L2 miss resolves at exactly one lower level.
+  EXPECT_EQ(reg.value("cache.l3.local.hit") + reg.value("cache.l3.victim.hit") +
+                reg.value("cache.l3.miss"),
+            reg.value("cache.l2.miss"));
+  EXPECT_EQ(reg.value("cache.l4.hit") + reg.value("cache.dram.fill"),
+            reg.value("cache.l3.miss"));
+  // Lines enter via the Centaur read link for both L4 and DRAM service.
+  EXPECT_EQ(reg.value("cache.memlink.read.lines"),
+            reg.value("cache.l4.hit") + reg.value("cache.dram.fill"));
+}
+
+TEST(TlbCounters, EratIdentityOnChase) {
+  const Machine machine = Machine::e870();
+  CounterRegistry reg;
+  ubench::ChaseOptions opt;
+  opt.working_set_bytes = 8u << 20;  // beyond the 48 x 64 KB ERAT reach
+  opt.counters = &reg;
+  (void)ubench::chase_latency_ns(machine, opt);
+
+  const std::uint64_t translations =
+      reg.value("tlb.erat.hit") + reg.value("tlb.erat.miss");
+  EXPECT_EQ(translations, reg.value("probe.accesses"));
+  // Each ERAT miss goes to the TLB: hit there or walk.
+  EXPECT_EQ(reg.value("tlb.tlb.hit") + reg.value("tlb.walk"),
+            reg.value("tlb.erat.miss"));
+  // An 8 MB set with 64 KB pages must actually miss the 48-entry ERAT.
+  EXPECT_GT(reg.value("tlb.erat.miss"), 0u);
+}
+
+TEST(PrefetchCounters, SequentialScanEngagesUnderDscrNamespace) {
+  const Machine machine = Machine::e870();
+  CounterRegistry reg;
+  ubench::StrideOptions opt;
+  opt.stride_lines = 1;
+  opt.dscr = 7;
+  opt.accesses = 20000;
+  opt.counters = &reg;
+  (void)ubench::stride_latency_ns(machine, opt);
+
+  // The depth is baked into the namespace.
+  EXPECT_GT(reg.value("prefetch.dscr7.stream.confirm"), 0u);
+  EXPECT_GT(reg.value("prefetch.dscr7.stream.engage"), 0u);
+  EXPECT_GT(reg.value("prefetch.dscr7.issued"), 0u);
+  EXPECT_EQ(reg.sum_prefix("prefetch.dscr1."), 0u);
+  // Nearly every access of a sequential scan is prefetch-covered.
+  EXPECT_GT(reg.value("probe.prefetched_hits"),
+            reg.value("probe.accesses") / 2);
+  // Prefetched lines install without demand-missing the hierarchy.
+  EXPECT_EQ(reg.value("cache.prefetch.install"),
+            reg.value("probe.prefetched_hits"));
+}
+
+TEST(NocCounters, SingleFlowLinkAccounting) {
+  const Machine machine = Machine::e870();
+  NocModel noc = machine.noc();
+  CounterRegistry reg;
+  noc.attach_counters(&reg);
+
+  const double v = noc.one_direction_gbs(0, 1);
+  EXPECT_EQ(reg.value("noc.solves"), 1u);
+  // One intra-group flow, one hop: the data direction carries exactly
+  // v, the reverse direction the request overhead (0.13 v).  All link
+  // rates are recorded in integral MB/s.
+  std::uint64_t total_mbs = 0, max_mbs = 0, saturated = 0;
+  for (const auto& [name, value] : reg.snapshot()) {
+    if (name.find(".mbs") != std::string::npos) {
+      total_mbs += value;
+      max_mbs = std::max(max_mbs, value);
+    }
+    if (name.find(".saturated") != std::string::npos) saturated += value;
+  }
+  EXPECT_NEAR(static_cast<double>(max_mbs), 1000.0 * v, 1.0);
+  EXPECT_NEAR(static_cast<double>(total_mbs),
+              1000.0 * v * (1.0 + noc.params().request_overhead), 2.0);
+  // Exactly one constraint — the data-direction X link — binds.
+  EXPECT_EQ(saturated, 1u);
+}
+
+TEST(MemCounters, BindingMechanismAndSolveCount) {
+  const Machine machine = Machine::e870();
+  MemoryBandwidthModel mem = machine.memory();
+  CounterRegistry reg;
+  mem.attach_counters(&reg);
+
+  // Read-only full-system STREAM is read-link bound on this model.
+  (void)mem.system_stream_gbs({1, 0});
+  EXPECT_EQ(reg.value("mem.stream.solves"), 1u);
+  EXPECT_EQ(reg.value("mem.bound.read_link"), 1u);
+  EXPECT_EQ(reg.value("mem.bound.concurrency"), 0u);
+  // A bound link runs at 1000 per-mille occupancy.
+  EXPECT_EQ(reg.value("mem.read_link.occupancy.permille"), 1000u);
+  // Single thread on one core is concurrency bound.
+  (void)mem.stream_gbs(1, 1, 1, {1, 0});
+  EXPECT_EQ(reg.value("mem.stream.solves"), 2u);
+  EXPECT_EQ(reg.value("mem.bound.concurrency"), 1u);
+  // Random solves keep their own namespace.
+  (void)mem.random_gbs(8, 8, 8, 16);
+  EXPECT_EQ(reg.value("mem.random.solves"), 1u);
+  EXPECT_GT(reg.value("mem.random.rowcap.permille"), 0u);
+}
+
+TEST(CoreCounters, IssueAccountingBalances) {
+  const Machine machine = Machine::e870();
+  CoreSim core = machine.core_sim();
+  CounterRegistry reg;
+  core.attach_counters(&reg);
+
+  const std::uint64_t cycles = 5000;
+  const auto r = core.run_fma_loop(8, 12, cycles);  // spilling regime
+  EXPECT_EQ(reg.value("core.fma.retired"), r.retired);
+  EXPECT_EQ(reg.value("core.issue.busy_cycles") +
+                reg.value("core.issue.idle_cycles"),
+            cycles * static_cast<std::uint64_t>(
+                         core.config().core.vsx_pipes));
+  // 8 threads x 12 chains x 2 regs = 192 > 128: spills must appear.
+  EXPECT_GT(reg.value("core.regfile.spill_stalls"), 0u);
+
+  // Non-spilling regime: no spill stalls.
+  CounterRegistry reg2;
+  CoreSim core2 = machine.core_sim();
+  core2.attach_counters(&reg2);
+  (void)core2.run_fma_loop(2, 6, cycles);
+  EXPECT_EQ(reg2.value("core.regfile.spill_stalls"), 0u);
+}
+
+// ------------------------------------------------------- determinism ----
+
+TEST(CounterDeterminism, ParallelMergeMatchesSequentialAnyWorkerCount) {
+  const Machine machine = Machine::e870();
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t ws = common::kib(64); ws <= common::mib(4); ws *= 2)
+    sizes.push_back(ws);
+
+  CounterRegistry sequential;
+  const auto base = ubench::memory_latency_scan(machine, sizes, 64 * 1024,
+                                                /*dscr=*/1, &sequential);
+
+  for (const std::size_t workers : {1u, 2u, 5u}) {
+    SweepRunner runner(workers);
+    CounterRegistry parallel;
+    const auto got = ubench::memory_latency_scan(
+        machine, sizes, 64 * 1024, /*dscr=*/1, runner, &parallel);
+    ASSERT_EQ(got.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+      EXPECT_EQ(got[i].latency_ns, base[i].latency_ns) << "point " << i;
+    EXPECT_EQ(parallel.snapshot(), sequential.snapshot())
+        << "workers=" << workers;
+  }
+}
+
+TEST(CounterDeterminism, RunCountedWithNullSinkBehavesLikeRun) {
+  SweepRunner runner(3);
+  const auto counted = runner.run_counted(
+      8, nullptr, [&](std::size_t i, CounterRegistry* reg) {
+        EXPECT_EQ(reg, nullptr);
+        return static_cast<int>(i * i);
+      });
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(counted[i], static_cast<int>(i * i));
+}
+
+TEST(CounterOverhead, ResultsIdenticalWithCountingOnAndOff) {
+  const Machine machine = Machine::e870();
+
+  ubench::ChaseOptions off;
+  off.working_set_bytes = 2u << 20;
+  ubench::ChaseOptions on = off;
+  CounterRegistry reg;
+  on.counters = &reg;
+  // Bit-identical latency: counting must not perturb the simulation.
+  EXPECT_EQ(ubench::chase_latency_ns(machine, off),
+            ubench::chase_latency_ns(machine, on));
+  EXPECT_GT(reg.sum_prefix("cache."), 0u);
+
+  ubench::StrideOptions s_off;
+  s_off.accesses = 20000;
+  ubench::StrideOptions s_on = s_off;
+  CounterRegistry reg2;
+  s_on.counters = &reg2;
+  EXPECT_EQ(ubench::stride_latency_ns(machine, s_off),
+            ubench::stride_latency_ns(machine, s_on));
+
+  NocModel plain = machine.noc();
+  NocModel counted = machine.noc();
+  CounterRegistry reg3;
+  counted.attach_counters(&reg3);
+  EXPECT_EQ(plain.all_to_all_gbs(), counted.all_to_all_gbs());
+}
+
+}  // namespace
+}  // namespace p8::sim

@@ -295,6 +295,6 @@ int main(int argc, char** argv) {
     std::printf("gate: %d check(s) failed.\n", failures);
   }
 
-  bench::write_counters(counters, counters_path, "fidelity");
+  if (!bench::write_counters(counters, counters_path, "fidelity")) return 1;
   return failures == 0 ? 0 : 1;
 }

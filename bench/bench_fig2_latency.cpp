@@ -66,6 +66,5 @@ int main(int argc, char** argv) {
       "64MB, L4 shoulder to 128MB, DRAM beyond.  The 64KB-page column\n"
       "should exceed the 16MB-page column around 3-6MB (ERAT reach = 48 x\n"
       "64KB = 3MB) — the paper's 'small spike at the 3MB data point'.\n");
-  bench::write_counters(counters, counters_path, "fig2");
-  return 0;
+  return bench::write_counters(counters, counters_path, "fig2") ? 0 : 1;
 }

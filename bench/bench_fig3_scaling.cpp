@@ -47,6 +47,5 @@ int main(int argc, char** argv) {
   std::printf("Paper: the chip maximum of ~189 GB/s needs all cores AND all "
               "threads.\nModel maximum: %.0f GB/s.\n",
               mem.stream_gbs(1, 8, 8, mix));
-  bench::write_counters(counters, counters_path, "fig3");
-  return 0;
+  return bench::write_counters(counters, counters_path, "fig3") ? 0 : 1;
 }

@@ -46,6 +46,5 @@ int main(int argc, char** argv) {
       "outstanding lines per thread; SMT8 saturates with only 4 lists while\n"
       "SMT4 needs ~16 — the paper's argument for 8-way SMT.\n",
       best, 100.0 * best / read_peak, read_peak);
-  bench::write_counters(counters, counters_path, "fig4");
-  return 0;
+  return bench::write_counters(counters, counters_path, "fig4") ? 0 : 1;
 }

@@ -60,6 +60,5 @@ int main(int argc, char** argv) {
   std::printf("Paper: both metrics are best at the deepest setting for a\n"
               "sequential pattern — latency falls as ~DRAM/(depth+1), and\n"
               "bandwidth rises with the per-thread line concurrency.\n");
-  bench::write_counters(counters, counters_path, "fig6");
-  return 0;
+  return bench::write_counters(counters, counters_path, "fig6") ? 0 : 1;
 }

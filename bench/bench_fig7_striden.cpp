@@ -53,6 +53,5 @@ int main(int argc, char** argv) {
       "the deepest setting.  The conclusion — the detector removes most\n"
       "of the memory latency — reproduces.\n",
       machine.noc().memory_latency_ns(0, 0) + 0.7, lat[11]);
-  bench::write_counters(counters, counters_path, "fig7");
-  return 0;
+  return bench::write_counters(counters, counters_path, "fig7") ? 0 : 1;
 }

@@ -62,6 +62,5 @@ int main(int argc, char** argv) {
   std::printf("Paper: DCBT gains exceed 25%% for small arrays (the hardware\n"
               "detector engages too late) and become negligible for large\n"
               "ones.\n");
-  bench::write_counters(counters, counters_path, "fig8");
-  return 0;
+  return bench::write_counters(counters, counters_path, "fig8") ? 0 : 1;
 }

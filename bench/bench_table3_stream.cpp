@@ -52,6 +52,5 @@ int main(int argc, char** argv) {
   std::printf("Best mix 2:1 = %.0f GB/s = %.0f%% of the %.0f GB/s spec peak "
               "(paper: 1,472 GB/s, 80%%).\n",
               best, 100.0 * best / peak, peak);
-  bench::write_counters(counters, counters_path, "table3");
-  return 0;
+  return bench::write_counters(counters, counters_path, "table3") ? 0 : 1;
 }

@@ -92,6 +92,5 @@ int main(int argc, char** argv) {
       "(direct A bundle) is faster than chip0<->chip5..7; intra-group point\n"
       "bandwidth (single route) is LOWER than inter-group (multipath);\n"
       "X aggregate ~= 3x A aggregate; all-to-all falls in between.\n");
-  bench::write_counters(counters, counters_path, "table4");
-  return 0;
+  return bench::write_counters(counters, counters_path, "table4") ? 0 : 1;
 }

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdio>
-#include <stdexcept>
 #include <string>
 
 #include "common/cli.hpp"
@@ -37,20 +36,26 @@ inline std::string counters_path_arg(common::ArgParser& args) {
 }
 
 /// Writes `registry` to `path`, picking the format from the extension
-/// (".csv" => CSV, anything else => JSON tagged with `bench`).  No-op
-/// for an empty path, so benches can call it unconditionally.
-inline void write_counters(const sim::CounterRegistry& registry,
+/// (".csv"/".CSV" => CSV, anything else => JSON tagged with `bench`).
+/// No-op (returning true) for an empty path, so benches can call it
+/// unconditionally.  An unwritable path prints a clear message to
+/// stderr and returns false — callers turn that into a non-zero exit
+/// so sweep scripts notice the missing dump instead of reading stale
+/// files.
+inline bool write_counters(const sim::CounterRegistry& registry,
                            const std::string& path,
                            const std::string& bench) {
-  if (path.empty()) return;
-  const bool csv =
-      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (path.empty()) return true;
+  const bool csv = common::iends_with(path, ".csv");
   const std::string body = csv ? registry.to_csv() : registry.to_json(bench);
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr)
-    throw std::runtime_error("cannot write counters to " + path);
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write counters to %s\n", path.c_str());
+    return false;
+  }
   std::fputs(body.c_str(), f);
   std::fclose(f);
+  return true;
 }
 
 }  // namespace p8::bench

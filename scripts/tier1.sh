@@ -19,6 +19,27 @@ cmake --build build -j
 ./build/bench/bench_perf_simcore --max-mb 16 --accesses $((1 << 20)) \
   --json build/BENCH_perf_simcore_smoke.json
 
+# Perf baseline: the simulated numbers (sweep checksum) must match the
+# checked-in BENCH_perf_simcore.json bit for bit — that is a
+# correctness property and a hard failure.  Throughput is wall-clock
+# and machine-dependent, so a >25% drop against the baseline only
+# warns; investigate before re-baselining.
+python3 - build/BENCH_perf_simcore_smoke.json BENCH_perf_simcore.json <<'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+if fresh["sweep_checksum"] != base["sweep_checksum"]:
+    sys.exit("FAIL: sweep checksum drifted: %s (baseline %s) — "
+             "the simulated latencies changed"
+             % (fresh["sweep_checksum"], base["sweep_checksum"]))
+for key in ("seq_scan_macc_per_s", "chase_macc_per_s"):
+    now, then = fresh[key], base[key]
+    if now < 0.75 * then:
+        print("WARNING: %s dropped >25%%: %.3f vs baseline %.3f"
+              % (key, now, then))
+print("perf baseline: checksum OK")
+EOF
+
 # Fidelity gate: every modelled paper quantity inside its calibrated
 # tolerance (documented deviations report ALLOWED), counter identities
 # intact.  Non-zero exit on any new drift.

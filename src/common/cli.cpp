@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -84,6 +85,17 @@ bool ArgParser::get_flag(const std::string& name, const std::string& help) {
   if (v == "0" || v == "false") return false;
   throw std::invalid_argument("--" + name + " expects a boolean (bare, 0, 1, "
                               "true or false), got '" + v + "'");
+}
+
+bool iends_with(const std::string& s, const std::string& suffix) {
+  if (s.size() < suffix.size()) return false;
+  const std::size_t off = s.size() - suffix.size();
+  for (std::size_t i = 0; i < suffix.size(); ++i) {
+    const auto a = static_cast<unsigned char>(s[off + i]);
+    const auto b = static_cast<unsigned char>(suffix[i]);
+    if (std::tolower(a) != std::tolower(b)) return false;
+  }
+  return true;
 }
 
 bool ArgParser::finish() const {

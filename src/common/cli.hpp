@@ -12,6 +12,11 @@
 
 namespace p8::common {
 
+/// True when `s` ends with `suffix`, compared case-insensitively
+/// (ASCII only) — extension sniffing for output-path options, where
+/// "dump.CSV" should mean the same as "dump.csv".
+bool iends_with(const std::string& s, const std::string& suffix);
+
 class ArgParser {
  public:
   /// Parses argv; throws std::invalid_argument on malformed input.

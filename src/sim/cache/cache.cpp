@@ -22,29 +22,95 @@ SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, unsigned ways,
   if (sets_pow2_) {
     set_mask_ = sets_ - 1;
     set_shift_ = static_cast<unsigned>(std::countr_zero(sets_));
+  } else {
+    // ceil(2^64 / sets_); exact because a non-power-of-two never
+    // divides 2^64.  quot() is exact for line <= ~2^63 / sets_, far
+    // beyond any address the simulator produces; larger values take
+    // the hardware-divide fallback.
+    inv_sets_ = ~std::uint64_t{0} / sets_ + 1;
+    div_safe_ = (~std::uint64_t{0} / sets_) >> 1;
   }
-  tag_.resize(sets_ * ways_, 0);
-  lru_.resize(sets_ * ways_, 0);
-  state_.resize(sets_ * ways_, 0);
+  entries_.resize(sets_ * ways_);
 }
 
-std::uint64_t SetAssocCache::find_way(std::uint64_t addr) const {
-  const std::uint64_t tag = tag_of(addr);
-  const std::uint64_t base = set_of(addr) * ways_;
-  for (unsigned w = 0; w < ways_; ++w)
-    if ((state_[base + w] & kValid) && tag_[base + w] == tag) return base + w;
+std::uint64_t SetAssocCache::scan_set(std::uint64_t base, std::uint64_t want,
+                                      std::uint64_t& victim,
+                                      bool& victim_invalid) const {
+  std::uint64_t invalid = kNoEntry;
+  std::uint64_t oldest = base;
+  // Tracking the running minimum in a register (seeded with way 0,
+  // which never beats itself) instead of re-reading the victim's LRU
+  // reproduces the historical rescanning code exactly: invalid ways
+  // never enter the minimum fold, and whenever the minimum matters —
+  // no invalid way exists — way 0 is valid and a legitimate seed.
+  std::uint64_t min_lru = entries_[base].lru;
+  for (unsigned w = 0; w < ways_; ++w) {
+    const std::uint64_t e = base + w;
+    const std::uint64_t m = entries_[e].meta;
+    if ((m & ~kDirty) == want) return e;
+    const std::uint64_t l = entries_[e].lru;
+    const bool inv = !(m & kValid);
+    invalid = (inv && invalid == kNoEntry) ? e : invalid;
+    const bool older = !inv && l < min_lru;
+    min_lru = older ? l : min_lru;
+    oldest = older ? e : oldest;
+  }
+  victim_invalid = invalid != kNoEntry;
+  victim = victim_invalid ? invalid : oldest;
   return kNoEntry;
 }
 
-bool SetAssocCache::probe(std::uint64_t addr) const {
-  return find_way(addr) != kNoEntry;
+bool SetAssocCache::touch_install(std::uint64_t addr) {
+  std::uint64_t set, tag;
+  split(addr, set, tag);
+  const std::uint64_t want = meta_of(tag, kValid);
+  std::uint64_t victim;
+  bool victim_invalid;
+  const std::uint64_t e = scan_set(set * ways_, want, victim, victim_invalid);
+  if (e != kNoEntry) {
+    entries_[e].lru = ++clock_;
+    return true;
+  }
+  entries_[victim] = {want, ++clock_};
+  return false;
 }
 
-bool SetAssocCache::touch(std::uint64_t addr) {
+bool SetAssocCache::touch_slot(std::uint64_t addr, Slot& slot) {
+  std::uint64_t set, tag;
+  split(addr, set, tag);
+  const std::uint64_t want = meta_of(tag, kValid);
+  std::uint64_t victim;
+  bool victim_invalid;
+  const std::uint64_t e = scan_set(set * ways_, want, victim, victim_invalid);
+  if (e != kNoEntry) {
+    entries_[e].lru = ++clock_;
+    return true;
+  }
+  slot.entry = victim;
+  slot.set = set;
+  slot.invalid_way = victim_invalid;
+  slot.recorded = true;
+  return false;
+}
+
+std::optional<SetAssocCache::Eviction> SetAssocCache::install_line_at(
+    const Slot& slot, std::uint64_t addr, bool dirty) {
+  const std::uint64_t e = slot.entry;
+  std::optional<Eviction> evicted;
+  if (!slot.invalid_way)
+    evicted = Eviction{line_addr(slot.set, tag_bits(entries_[e].meta)),
+                       (entries_[e].meta & kDirty) != 0};
+  entries_[e] = {meta_of(tag_of(addr), kValid | (dirty ? kDirty : 0)),
+                 ++clock_};
+  return evicted;
+}
+
+std::optional<bool> SetAssocCache::take(std::uint64_t addr) {
   const std::uint64_t e = find_way(addr);
-  if (e == kNoEntry) return false;
-  lru_[e] = ++clock_;
-  return true;
+  if (e == kNoEntry) return std::nullopt;
+  const bool dirty = (entries_[e].meta & kDirty) != 0;
+  entries_[e].meta = 0;
+  return dirty;
 }
 
 SetAssocCache::AccessResult SetAssocCache::access(std::uint64_t addr) {
@@ -60,69 +126,53 @@ std::optional<std::uint64_t> SetAssocCache::install(std::uint64_t addr) {
 
 std::optional<SetAssocCache::Eviction> SetAssocCache::install_line(
     std::uint64_t addr, bool dirty) {
-  const std::uint64_t set = set_of(addr);
-  const std::uint64_t tag = tag_of(addr);
-  const std::uint64_t base = set * ways_;
+  std::uint64_t set, tag;
+  split(addr, set, tag);
+  const std::uint64_t want = meta_of(tag, kValid);
+  std::uint64_t victim;
+  bool victim_invalid;
   // Reuse an existing entry (refresh), then an invalid way, then LRU.
-  // One pass tracks all three candidates; the victim priority (first
-  // invalid way, else first-seen minimum LRU) matches a two-pass scan.
-  std::uint64_t invalid = kNoEntry;
-  std::uint64_t oldest = base;
-  for (unsigned w = 0; w < ways_; ++w) {
-    const std::uint64_t e = base + w;
-    if ((state_[e] & kValid) && tag_[e] == tag) {
-      lru_[e] = ++clock_;
-      if (dirty) state_[e] |= kDirty;
-      return std::nullopt;
-    }
-    if (!(state_[e] & kValid)) {
-      if (invalid == kNoEntry) invalid = e;
-    } else if (lru_[e] < lru_[oldest]) {
-      oldest = e;
-    }
+  const std::uint64_t e = scan_set(set * ways_, want, victim, victim_invalid);
+  if (e != kNoEntry) {
+    entries_[e].lru = ++clock_;
+    if (dirty) entries_[e].meta |= kDirty;
+    return std::nullopt;
   }
   std::optional<Eviction> evicted;
-  std::uint64_t victim = invalid;
-  if (victim == kNoEntry) {
-    victim = oldest;
-    evicted = Eviction{line_addr(set, tag_[victim]),
-                       (state_[victim] & kDirty) != 0};
-  }
-  tag_[victim] = tag;
-  lru_[victim] = ++clock_;
-  state_[victim] = static_cast<std::uint8_t>(kValid | (dirty ? kDirty : 0));
+  if (!victim_invalid)
+    evicted = Eviction{line_addr(set, tag_bits(entries_[victim].meta)),
+                       (entries_[victim].meta & kDirty) != 0};
+  entries_[victim] = {want | (dirty ? kDirty : 0), ++clock_};
   return evicted;
 }
 
 bool SetAssocCache::mark_dirty(std::uint64_t addr) {
   const std::uint64_t e = find_way(addr);
   if (e == kNoEntry) return false;
-  state_[e] |= kDirty;
+  entries_[e].meta |= kDirty;
   return true;
 }
 
 bool SetAssocCache::is_dirty(std::uint64_t addr) const {
   const std::uint64_t e = find_way(addr);
-  return e != kNoEntry && (state_[e] & kDirty) != 0;
+  return e != kNoEntry && (entries_[e].meta & kDirty) != 0;
 }
 
 bool SetAssocCache::invalidate(std::uint64_t addr) {
   const std::uint64_t e = find_way(addr);
   if (e == kNoEntry) return false;
-  state_[e] = 0;
+  entries_[e].meta = 0;
   return true;
 }
 
 void SetAssocCache::clear() {
-  std::fill(tag_.begin(), tag_.end(), 0);
-  std::fill(lru_.begin(), lru_.end(), 0);
-  std::fill(state_.begin(), state_.end(), 0);
+  std::fill(entries_.begin(), entries_.end(), Entry{});
   clock_ = 0;
 }
 
 std::uint64_t SetAssocCache::resident_lines() const {
   std::uint64_t n = 0;
-  for (const auto s : state_) n += s & kValid;
+  for (const auto& e : entries_) n += e.meta & kValid;
   return n;
 }
 

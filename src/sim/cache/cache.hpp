@@ -5,16 +5,19 @@
 // It tracks tags only — the simulator cares about hit/miss behaviour
 // and evictions (for victim forwarding), not data contents.
 //
-// Layout is structure-of-arrays (parallel tag / LRU / state vectors,
-// row-major by set) so a way scan touches densely packed tags, and
-// set/tag extraction uses shift/mask when the set count is a power of
-// two — the common case for every POWER8 level — falling back to
-// division only for irregular geometries.
+// Layout is one flat entry array (row-major by set, each entry a
+// {packed tag+state word, LRU stamp} pair) so a way scan walks one
+// densely packed stream — one host page and one prefetch stream per
+// set probe — and set/tag extraction uses shift/mask when the set
+// count is a power of two — the common case for every POWER8 level —
+// falling back to division only for irregular geometries.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
+
+#include "common/hugealloc.hpp"
 
 namespace p8::sim {
 
@@ -31,10 +34,63 @@ class SetAssocCache {
   std::uint64_t sets() const { return sets_; }
 
   /// Looks up the line containing `addr` WITHOUT modifying state.
-  bool probe(std::uint64_t addr) const;
+  bool probe(std::uint64_t addr) const { return find_way(addr) != kNoEntry; }
 
   /// Looks up and, on hit, promotes to MRU.  Does not allocate.
-  bool touch(std::uint64_t addr);
+  bool touch(std::uint64_t addr) {
+    const std::uint64_t e = find_way(addr);
+    if (e == kNoEntry) return false;
+    entries_[e].lru = ++clock_;
+    return true;
+  }
+
+  /// Sentinel for slot_victim_line: no line would be evicted.
+  static constexpr std::uint64_t kNoVictim = ~std::uint64_t{0};
+
+  /// Where a miss's subsequent install would land, recorded by
+  /// touch_slot() so install_line_at() can reuse the way scan instead
+  /// of repeating it.  Only meaningful while the recorded set is
+  /// untouched (see install_line_at).
+  struct Slot {
+    std::uint64_t entry = 0;  ///< flat index of the victim way
+    std::uint64_t set = 0;    ///< set the scan covered
+    bool invalid_way = false;  ///< victim is an invalid (empty) way
+    bool recorded = false;     ///< set by a touch_slot() miss
+  };
+
+  /// touch() that, on a miss, records in `slot` the way a subsequent
+  /// install_line(addr) would claim from this set as it stands (first
+  /// invalid way, else the LRU victim).  State changes are exactly
+  /// touch()'s.
+  bool touch_slot(std::uint64_t addr, Slot& slot);
+
+  /// Line currently held by the slot's victim way, or kNoVictim when
+  /// the victim is an invalid way.  Used to prefetch the downstream
+  /// set the eviction will cast into, ahead of the install.
+  std::uint64_t slot_victim_line(const Slot& slot) const {
+    return slot.invalid_way
+               ? kNoVictim
+               : line_addr(slot.set, tag_bits(entries_[slot.entry].meta));
+  }
+
+  /// Set index `addr` maps to — for callers deciding whether an
+  /// intervening install collided with a recorded Slot.
+  std::uint64_t set_index(std::uint64_t addr) const { return set_of(addr); }
+
+  /// Fused touch-else-install: one way scan that either promotes the
+  /// resident line to MRU (returns true) or installs it clean over the
+  /// first invalid way, else the LRU victim (returns false).  State
+  /// and LRU clocks end up exactly as `touch(addr)` followed — on the
+  /// miss — by `install(addr)`, but the set is scanned once instead of
+  /// twice.  The eviction is discarded, so this fits the translation
+  /// structures (ERAT/TLB), where cast-outs have no downstream.
+  bool touch_install(std::uint64_t addr);
+
+  /// Fused probe + is_dirty + invalidate: removes the line if present
+  /// and returns its dirty state, scanning the set once.  nullopt when
+  /// the line was not resident.  LRU clocks are untouched, exactly as
+  /// the three separate calls leave them.
+  std::optional<bool> take(std::uint64_t addr);
 
   /// Demand access: on hit promotes to MRU and returns {true, nullopt};
   /// on miss allocates the line and returns {false, evicted_line_addr}
@@ -60,6 +116,17 @@ class SetAssocCache {
   /// `dirty` (OR-ed with any existing dirty state on a refresh).
   std::optional<Eviction> install_line(std::uint64_t addr, bool dirty);
 
+  /// install_line(addr, dirty) that reuses `slot` instead of scanning.
+  /// ONLY valid when no mutation of this cache has touched slot.set
+  /// since the touch_slot() miss that recorded it — then the rescan
+  /// would find the identical candidates (addr still absent, same
+  /// first-invalid/min-LRU victim) and this produces bit-identical
+  /// state, LRU clocks and eviction.  Callers must fall back to
+  /// install_line() whenever an intervening install may have landed in
+  /// the same set (checked via set_index()).
+  std::optional<Eviction> install_line_at(const Slot& slot, std::uint64_t addr,
+                                          bool dirty);
+
   /// Marks the line dirty if present; returns whether it was found.
   bool mark_dirty(std::uint64_t addr);
 
@@ -77,18 +144,83 @@ class SetAssocCache {
   /// Number of valid lines currently resident.
   std::uint64_t resident_lines() const;
 
+  /// Hints the host CPU to start pulling in the backing arrays for
+  /// `addr`'s set.  The large levels (victim pool, L4) dwarf the host
+  /// LLC, so an un-hinted way scan stalls on several memory loads;
+  /// issuing the hint while earlier levels are still being searched
+  /// overlaps those misses.  Purely a performance hint — no simulator
+  /// state is read or written.
+  void prefetch_set(std::uint64_t addr) const {
+    const std::uint64_t base = set_of(addr) * ways_;
+    // A way scan walks the whole set, so hint every host line the
+    // set's entry row spans (16-byte entries, 64-byte host lines).
+    for (unsigned w = 0; w < ways_; w += 4)
+      __builtin_prefetch(&entries_[base + w]);
+  }
+
  private:
-  static constexpr std::uint8_t kValid = 1;
-  static constexpr std::uint8_t kDirty = 2;
+  static constexpr std::uint64_t kValid = 1;
+  static constexpr std::uint64_t kDirty = 2;
+  static constexpr std::uint64_t kStateMask = kValid | kDirty;
   static constexpr std::uint64_t kNoEntry = ~std::uint64_t{0};
+
+  /// Entry metadata packs the tag and the state bits into one word
+  /// ((tag << 2) | state): a way scan issues one load per way instead
+  /// of separate tag and state loads, and the big levels' backing
+  /// arrays shrink by a third — both matter because the victim pool
+  /// and L4 arrays dwarf the host cache.  Tags are line addresses
+  /// shifted down by the line and set bits, so the two spare low bits
+  /// always exist.
+  static constexpr std::uint64_t meta_of(std::uint64_t tag,
+                                         std::uint64_t state) {
+    return (tag << 2) | state;
+  }
+  static constexpr std::uint64_t tag_bits(std::uint64_t meta) {
+    return meta >> 2;
+  }
+
+  /// The one way scan behind every mutating lookup: returns the hit
+  /// entry, or kNoEntry with `victim` set to the way install_line
+  /// would claim (first invalid way, else the first-seen minimum-LRU
+  /// valid way) and `victim_invalid` telling which kind it is.  The
+  /// candidate folds are branchless (conditional moves) because the
+  /// LRU comparison outcome is data-random and mispredicted branches
+  /// dominated the scan cost.
+  std::uint64_t scan_set(std::uint64_t base, std::uint64_t want,
+                         std::uint64_t& victim, bool& victim_invalid) const;
+
+  /// floor(line / sets_) for irregular set counts without a hardware
+  /// divide: multiply by the precomputed ceil(2^64 / sets_) and keep
+  /// the high word (Granlund–Montgomery).  Exact for line values up to
+  /// div_safe_; beyond that (never reached by realistic addresses) it
+  /// falls back to the real division.
+  std::uint64_t quot(std::uint64_t line) const {
+    if (line > div_safe_) return line / sets_;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(line) * inv_sets_) >> 64);
+  }
+
+  /// Set index and tag in one step, sharing the quotient when the set
+  /// count is not a power of two (one multiply instead of two
+  /// serialized divides on the way-scan critical path).
+  void split(std::uint64_t addr, std::uint64_t& set, std::uint64_t& tag) const {
+    const std::uint64_t line = addr >> line_shift_;
+    if (sets_pow2_) {
+      set = line & set_mask_;
+      tag = line >> set_shift_;
+    } else {
+      tag = quot(line);
+      set = line - tag * sets_;
+    }
+  }
 
   std::uint64_t set_of(std::uint64_t addr) const {
     const std::uint64_t line = addr >> line_shift_;
-    return sets_pow2_ ? (line & set_mask_) : (line % sets_);
+    return sets_pow2_ ? (line & set_mask_) : (line - quot(line) * sets_);
   }
   std::uint64_t tag_of(std::uint64_t addr) const {
     const std::uint64_t line = addr >> line_shift_;
-    return sets_pow2_ ? (line >> set_shift_) : (line / sets_);
+    return sets_pow2_ ? (line >> set_shift_) : quot(line);
   }
   std::uint64_t line_addr(std::uint64_t set, std::uint64_t tag) const {
     const std::uint64_t line =
@@ -97,8 +229,19 @@ class SetAssocCache {
   }
 
   /// Flat entry index of the valid way holding `addr`'s line, or
-  /// kNoEntry — the one way-scan all the lookup paths share.
-  std::uint64_t find_way(std::uint64_t addr) const;
+  /// kNoEntry — the one way-scan all the lookup paths share.  Inline:
+  /// this scan runs several times per simulated load, and the call
+  /// overhead was measurable on the probe hot path.  Masking the dirty
+  /// bit out of the packed word makes the hit test one compare.
+  std::uint64_t find_way(std::uint64_t addr) const {
+    std::uint64_t set, tag;
+    split(addr, set, tag);
+    const std::uint64_t want = meta_of(tag, kValid);
+    const std::uint64_t base = set * ways_;
+    for (unsigned w = 0; w < ways_; ++w)
+      if ((entries_[base + w].meta & ~kDirty) == want) return base + w;
+    return kNoEntry;
+  }
 
   std::uint64_t capacity_;
   unsigned ways_;
@@ -108,11 +251,21 @@ class SetAssocCache {
   bool sets_pow2_;
   std::uint64_t set_mask_ = 0;   // sets_ - 1 when sets_ is a power of two
   unsigned set_shift_ = 0;       // log2(sets_) when sets_ is a power of two
+  std::uint64_t inv_sets_ = 0;   // ceil(2^64 / sets_) when not a power of two
+  std::uint64_t div_safe_ = 0;   // largest line quot() handles exactly
   std::uint64_t clock_ = 0;
-  // SoA entry storage, sets_ * ways_ each, row-major by set.
-  std::vector<std::uint64_t> tag_;
-  std::vector<std::uint64_t> lru_;   // larger = more recently used
-  std::vector<std::uint8_t> state_;  // kValid | kDirty bits
+  /// One way's metadata and LRU stamp side by side: a way scan reads
+  /// both, and keeping them in one row means a set probe touches one
+  /// host page and one hardware-prefetch stream instead of two — the
+  /// victim-pool/L4 rows are tens of MB probed in data-dependent
+  /// order, where the extra page was a real host-dTLB miss.
+  struct Entry {
+    std::uint64_t meta = 0;  ///< (tag << 2) | state, see meta_of()
+    std::uint64_t lru = 0;   ///< larger = more recently used
+  };
+  /// sets_ * ways_ entries, row-major by set, on huge-page-backed
+  /// memory (see hugealloc.hpp).
+  std::vector<Entry, common::HugePageAllocator<Entry>> entries_;
 };
 
 }  // namespace p8::sim

@@ -135,32 +135,74 @@ void ChipMemoryModel::fill_upper(std::uint64_t addr) {
     cast_into_victim(*ev3);
 }
 
-ServiceLevel ChipMemoryModel::locate_and_fill(std::uint64_t addr) {
-  if (l3_.touch(addr)) {
+void ChipMemoryModel::fill_l2_l3(std::uint64_t addr, bool l2_dirty,
+                                 const SetAssocCache::Slot& l2_slot,
+                                 const SetAssocCache::Slot& l3_slot) {
+  // The L2 slot is always reusable here: between the L2 touch miss
+  // that recorded it and this install, only the L1/L3/victim/L4 were
+  // touched.  The L3 slot survives unless the L2 cast-out happens to
+  // land in the same L3 set (then the recorded victim may be stale and
+  // the install rescans).
+  bool l3_slot_ok = true;
+  if (const auto ev2 = l2_.install_line_at(l2_slot, addr, l2_dirty)) {
+    l3_slot_ok = l3_.set_index(ev2->line) != l3_slot.set;
+    cast_into_l3(*ev2);
+  }
+  const auto ev3 = l3_slot_ok ? l3_.install_line_at(l3_slot, addr, false)
+                              : l3_.install_line(addr, false);
+  if (ev3) cast_into_victim(*ev3);
+}
+
+ServiceLevel ChipMemoryModel::locate_and_fill(
+    std::uint64_t addr, const SetAssocCache::Slot& l1_slot,
+    const SetAssocCache::Slot& l2_slot) {
+  // The L1 fill: nothing has touched the L1 since its touch miss, so
+  // the recorded slot stands in for the scan.  On the store path the
+  // L1 touch may have hit (no slot) — then the fill is the original
+  // refresh install.
+  const auto fill_l1 = [&] {
+    if (l1_slot.recorded)
+      l1_.install_line_at(l1_slot, addr, false);
+    else
+      l1_.install(addr);
+  };
+  SetAssocCache::Slot l3_slot;
+  if (l3_.touch_slot(addr, l3_slot)) {
     events_.l3_local_hit.add();
-    l1_.install(addr);
+    fill_l1();
     // Fill L2 with a clean copy; any dirty state stays with the L3
     // copy until it is evicted.
-    if (const auto ev2 = l2_.install_line(addr, false)) cast_into_l3(*ev2);
+    if (const auto ev2 = l2_.install_line_at(l2_slot, addr, false))
+      cast_into_l3(*ev2);
     return ServiceLevel::kL3Local;
   }
-  if (config_.victim_l3 && l3_victim_.probe(addr)) {
-    events_.l3_victim_hit.add();
-    // Victim hit: the line migrates back to the requesting core.
-    const bool dirty = l3_victim_.is_dirty(addr);
-    l3_victim_.invalidate(addr);
-    l1_.install(addr);
-    if (const auto ev2 = l2_.install_line(addr, dirty)) cast_into_l3(*ev2);
-    if (const auto ev3 = l3_.install_line(addr, false))
-      cast_into_victim(*ev3);
-    return ServiceLevel::kL3Remote;
+  // The line will be installed into L3 further down every miss path,
+  // casting the L3 victim into the victim pool — whose set is a
+  // different (cast-out-addressed) one than the demand set and would
+  // otherwise be a cold host miss right at the end of the walk.  Hint
+  // it now so it loads while the victim pool / L4 / DRAM are searched.
+  const std::uint64_t l3_victim_line = l3_.slot_victim_line(l3_slot);
+  if (config_.victim_l3 && l3_victim_line != SetAssocCache::kNoVictim)
+    l3_victim_.prefetch_set(l3_victim_line);
+  if (config_.victim_l3) {
+    // Fused probe + dirty read + invalidate: one scan of the victim
+    // pool's set instead of three (it is the largest SRAM structure,
+    // so the extra scans were real cache misses on the host).
+    if (const auto dirty = l3_victim_.take(addr)) {
+      events_.l3_victim_hit.add();
+      // Victim hit: the line migrates back to the requesting core.
+      fill_l1();
+      fill_l2_l3(addr, *dirty, l2_slot, l3_slot);
+      return ServiceLevel::kL3Remote;
+    }
   }
   events_.l3_miss.add();
   if (config_.l4_enabled && l4_.touch(addr)) {
     ++counters_.memlink_line_reads;
     events_.l4_hit.add();
     events_.memlink_read.add();
-    fill_upper(addr);
+    fill_l1();
+    fill_l2_l3(addr, false, l2_slot, l3_slot);
     return ServiceLevel::kL4;
   }
   // DRAM.  The Centaur allocates the line in its memory-side L4 on
@@ -177,25 +219,43 @@ ServiceLevel ChipMemoryModel::locate_and_fill(std::uint64_t addr) {
       events_.dram_write.add();
     }
   }
-  fill_upper(addr);
+  fill_l1();
+  fill_l2_l3(addr, false, l2_slot, l3_slot);
   return ServiceLevel::kDram;
 }
 
 ServiceLevel ChipMemoryModel::access(std::uint64_t addr) {
   ++counters_.loads;
   events_.loads.add();
-  if (l1_.touch(addr)) {
+  SetAssocCache::Slot l1_slot;
+  if (l1_.touch_slot(addr, l1_slot)) {
     events_.l1_hit.add();
     return ServiceLevel::kL1;
   }
   events_.l1_miss.add();
-  if (l2_.touch(addr)) {
+  SetAssocCache::Slot l2_slot;
+  if (l2_.touch_slot(addr, l2_slot)) {
     events_.l2_hit.add();
-    l1_.install(addr);
+    l1_.install_line_at(l1_slot, addr, false);
     return ServiceLevel::kL2;
   }
   events_.l2_miss.add();
-  return locate_and_fill(addr);
+  return locate_and_fill(addr, l1_slot, l2_slot);
+}
+
+ServiceLevel ChipMemoryModel::access_after_l1_miss(
+    std::uint64_t addr, const SetAssocCache::Slot& l1_slot) {
+  ++counters_.loads;
+  events_.loads.add();
+  events_.l1_miss.add();
+  SetAssocCache::Slot l2_slot;
+  if (l2_.touch_slot(addr, l2_slot)) {
+    events_.l2_hit.add();
+    l1_.install_line_at(l1_slot, addr, false);
+    return ServiceLevel::kL2;
+  }
+  events_.l2_miss.add();
+  return locate_and_fill(addr, l1_slot, l2_slot);
 }
 
 ServiceLevel ChipMemoryModel::access_write(std::uint64_t addr) {
@@ -203,15 +263,17 @@ ServiceLevel ChipMemoryModel::access_write(std::uint64_t addr) {
   events_.stores.add();
   // Store-through L1: the L1 copy (if any) is updated but never holds
   // the only dirty copy; the store lands in the store-in L2.
-  (l1_.touch(addr) ? events_.l1_hit : events_.l1_miss).add();
-  if (l2_.touch(addr)) {
+  SetAssocCache::Slot l1_slot;
+  (l1_.touch_slot(addr, l1_slot) ? events_.l1_hit : events_.l1_miss).add();
+  SetAssocCache::Slot l2_slot;
+  if (l2_.touch_slot(addr, l2_slot)) {
     events_.l2_hit.add();
     l2_.mark_dirty(addr);
     return ServiceLevel::kL2;
   }
   events_.l2_miss.add();
   // Write-allocate: fetch the line, then dirty it in L2.
-  const ServiceLevel from = locate_and_fill(addr);
+  const ServiceLevel from = locate_and_fill(addr, l1_slot, l2_slot);
   l2_.mark_dirty(addr);
   return from;
 }

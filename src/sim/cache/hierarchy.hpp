@@ -129,8 +129,46 @@ class ChipMemoryModel {
     return config_.latency.of(level);
   }
 
+  /// Batched-replay fast path: L1 lookup with MRU promotion and no
+  /// counter updates.  On a hit this leaves cache state exactly as
+  /// access() would (an L1 hit touches nothing below the L1); on a
+  /// miss nothing changes and the caller must fall back to access().
+  /// Callers report the elided events per chunk through
+  /// add_batched_l1_load_hits().
+  bool l1_touch(std::uint64_t addr) { return l1_.touch(addr); }
+
+  /// l1_touch() that records the would-be install slot on a miss, so
+  /// the batched replay's fallback walk can skip re-scanning the L1.
+  bool l1_touch_slot(std::uint64_t addr, SetAssocCache::Slot& slot) {
+    return l1_.touch_slot(addr, slot);
+  }
+
+  /// access() for a caller that already established the L1 miss via
+  /// l1_touch_slot(): identical state evolution and counters, minus
+  /// the redundant L1 re-scan.
+  ServiceLevel access_after_l1_miss(std::uint64_t addr,
+                                    const SetAssocCache::Slot& l1_slot);
+
+  /// Credits `n` demand loads that hit L1 through l1_touch() — the
+  /// per-chunk counter aggregation of the batched replay path.
+  void add_batched_l1_load_hits(std::uint64_t n) {
+    counters_.loads += n;
+    events_.loads.add(n);
+    events_.l1_hit.add(n);
+  }
+
   /// Probe-only: where would this address hit right now?
   ServiceLevel lookup(std::uint64_t addr) const;
+
+  /// Host-CPU prefetch hint for the sets `addr` maps to in the levels
+  /// whose backing arrays exceed the host cache (local L3, victim
+  /// pool, L4).  Issued ahead of the dependent walk so the way scans
+  /// find their arrays resident.  No simulator state changes.
+  void prefetch_sets(std::uint64_t addr) const {
+    l3_.prefetch_set(addr);
+    if (config_.victim_l3) l3_victim_.prefetch_set(addr);
+    if (config_.l4_enabled) l4_.prefetch_set(addr);
+  }
 
   /// Installs a line as if it had been prefetched: fills L1/L2/L3
   /// without counting a demand access.
@@ -142,7 +180,19 @@ class ChipMemoryModel {
   void fill_upper(std::uint64_t addr);
   void cast_into_l3(const SetAssocCache::Eviction& line);
   void cast_into_victim(const SetAssocCache::Eviction& line);
-  ServiceLevel locate_and_fill(std::uint64_t addr);
+  /// Demand-miss walk below the L2.  `l1_slot`/`l2_slot` carry the
+  /// victim ways the L1/L2 touch misses already scanned, so the fills
+  /// on the way out need no rescan (nothing touches the L1 or L2
+  /// between the misses and the fills).
+  ServiceLevel locate_and_fill(std::uint64_t addr,
+                               const SetAssocCache::Slot& l1_slot,
+                               const SetAssocCache::Slot& l2_slot);
+  /// L2-then-L3 fill shared by the demand-miss paths: installs `addr`
+  /// into L2 at the recorded slot and into L3, reusing the L3 touch
+  /// scan unless the L2 cast-out landed in the same L3 set.
+  void fill_l2_l3(std::uint64_t addr, bool l2_dirty,
+                  const SetAssocCache::Slot& l2_slot,
+                  const SetAssocCache::Slot& l3_slot);
 
   HierarchyConfig config_;
   SetAssocCache l1_;

@@ -1,5 +1,7 @@
 #include "sim/cache/tlb.hpp"
 
+#include <bit>
+
 #include "common/error.hpp"
 
 namespace p8::sim {
@@ -26,17 +28,29 @@ Tlb::Tlb(const TlbConfig& config)
              "translation structures need at least one entry");
   P8_REQUIRE(config.tlb_entries % config.tlb_ways == 0,
              "TLB entries must be a whole number of sets");
+  // page_bytes is a power of two (the ERAT constructor enforced it).
+  page_shift_ = static_cast<unsigned>(std::countr_zero(config.page_bytes));
 }
 
 TlbOutcome Tlb::translate(std::uint64_t addr) {
-  if (erat_.touch(addr)) {
+  const std::uint64_t page = addr >> page_shift_;
+  // Last-translation register: the previous access resolved this very
+  // page, so it is ERAT-resident and already MRU in its set — the
+  // touch would only re-promote it, which cannot change any future
+  // victim choice.  Skip the fully-associative scan outright.
+  if (page == last_page_) {
+    events_.erat_hit.add();
+    return TlbOutcome::kEratHit;
+  }
+  last_page_ = page;
+  // Fused scan: hit promotes to MRU; miss installs over the invalid/
+  // LRU victim in the same pass (ERAT cast-outs have no downstream).
+  if (erat_.touch_install(addr)) {
     events_.erat_hit.add();
     return TlbOutcome::kEratHit;
   }
   events_.erat_miss.add();
-  const bool tlb_hit = tlb_.touch(addr);
-  erat_.install(addr);
-  if (tlb_hit) {
+  if (tlb_.touch(addr)) {
     events_.tlb_hit.add();
     return TlbOutcome::kTlbHit;
   }
@@ -69,6 +83,7 @@ double Tlb::penalty_ns(TlbOutcome outcome) const {
 void Tlb::clear() {
   erat_.clear();
   tlb_.clear();
+  last_page_ = ~std::uint64_t{0};
 }
 
 }  // namespace p8::sim

@@ -38,6 +38,21 @@ class Tlb {
   /// Translates the access at `addr`, updating ERAT/TLB state.
   TlbOutcome translate(std::uint64_t addr);
 
+  /// True when `addr` lies on the page the previous translate()
+  /// resolved — the last-translation register.  A hit here guarantees
+  /// the page is ERAT-resident *and* already the most recently used
+  /// entry of its set (nothing has touched the ERAT since), so the
+  /// full translate — including its MRU re-promotion — can be skipped
+  /// without changing any future replacement decision.  Callers that
+  /// skip must report the elided ERAT hits via add_batched_erat_hits().
+  bool last_page_matches(std::uint64_t addr) const {
+    return (addr >> page_shift_) == last_page_;
+  }
+
+  /// Credits `n` ERAT hits elided through last_page_matches() — the
+  /// per-chunk counter aggregation of the batched replay path.
+  void add_batched_erat_hits(std::uint64_t n) { events_.erat_hit.add(n); }
+
   /// Extra latency charged for `outcome`.
   double penalty_ns(TlbOutcome outcome) const;
 
@@ -60,6 +75,10 @@ class Tlb {
   TlbConfig config_;
   SetAssocCache erat_;
   SetAssocCache tlb_;
+  unsigned page_shift_;  ///< log2(page_bytes): page extraction by shift
+  /// Page number of the last translate(); ~0 = none (no page number
+  /// can reach it, addresses being far below 2^64 - page_bytes).
+  std::uint64_t last_page_ = ~std::uint64_t{0};
   struct {
     Counter erat_hit, erat_miss, tlb_hit, walk;
   } events_;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "sim/cache/hierarchy.hpp"
 #include "sim/cache/tlb.hpp"
@@ -45,6 +46,15 @@ struct AccessTiming {
   bool prefetched = false;       ///< serviced (fully or partly) by prefetch
 };
 
+/// Aggregate outcome of one access_batch() chunk (fields accumulate
+/// across calls, so one BatchStats can follow a whole replay).
+struct BatchStats {
+  std::uint64_t accesses = 0;        ///< demand loads replayed
+  std::uint64_t l1_fast_hits = 0;    ///< short-circuited L1/ERAT fast path
+  std::uint64_t prefetched_hits = 0; ///< serviced out of a prefetch
+  double busy_ns = 0.0;              ///< simulated clock advance
+};
+
 class LatencyProbe {
  public:
   explicit LatencyProbe(const ProbeConfig& config);
@@ -53,6 +63,16 @@ class LatencyProbe {
 
   /// Performs one demand load and advances the clock.
   AccessTiming access(std::uint64_t addr);
+
+  /// Batched replay: performs the demand loads of `addrs` in order,
+  /// leaving every piece of simulator state — caches, TLB, prefetch
+  /// streams, in-flight fills, the virtual clock, all counters — in
+  /// exactly the state the equivalent access() loop produces, double
+  /// for double.  The common case (line L1-resident, page in the
+  /// last-translation register, no prefetch in flight for the line)
+  /// short-circuits the full walk, and its counter updates are
+  /// aggregated once per chunk instead of once per access.
+  void access_batch(std::span<const std::uint64_t> addrs, BatchStats& stats);
 
   /// Issues a DCBT stream hint at the current time (paper §III-D).
   void dcbt_hint(std::uint64_t start, std::uint64_t length_bytes,
@@ -75,6 +95,21 @@ class LatencyProbe {
 
  private:
   void launch(const std::vector<PrefetchRequest>& requests);
+
+  /// The full per-access walk — the one implementation both access()
+  /// and the batch slow path share, so event ordering is identical by
+  /// construction.  `line` is `addr & line_mask_`.  A batch caller
+  /// whose fast-path check already scanned the L1 passes the recorded
+  /// miss slot so the walk does not rescan it.
+  AccessTiming access_slow(std::uint64_t addr, std::uint64_t line,
+                           const SetAssocCache::Slot* l1_slot = nullptr);
+
+  /// access_slow() with the in-flight probe already taken — the batch
+  /// fast-path check probes the table anyway, so its fallback hands
+  /// the result down instead of probing twice.
+  AccessTiming access_resolved(std::uint64_t addr, std::uint64_t line,
+                               const double* completion,
+                               const SetAssocCache::Slot* l1_slot);
 
   ProbeConfig config_;
   Tlb tlb_;

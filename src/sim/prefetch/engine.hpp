@@ -87,6 +87,12 @@ class PrefetchEngine {
 
   void clear();
 
+  /// False when this DSCR setting prefetches nothing (depth 0): every
+  /// on_access() would return immediately, so callers replaying bulk
+  /// traces can skip the engine — and the in-flight bookkeeping it
+  /// feeds — entirely.
+  bool enabled() const { return depth_ > 0; }
+
   /// Streams currently tracked (for tests).
   unsigned active_streams() const;
 

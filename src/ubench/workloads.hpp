@@ -49,6 +49,11 @@ struct ChaseOptions {
   std::uint64_t seed = 42;
   /// Optional event sink for the probe stack (null = counting off).
   sim::CounterRegistry* counters = nullptr;
+  /// Replay the chain through LatencyProbe::access_batch (the chain is
+  /// materialized once into a flat address buffer) instead of one
+  /// access() per load.  Results are bit-identical either way; the
+  /// scalar path exists for the equivalence tests.
+  bool batched = true;
 };
 
 /// Average load-to-use latency of a randomized pointer chase (every
@@ -86,6 +91,8 @@ struct StrideOptions {
   bool stride_n = false;
   /// Optional event sink for the probe stack (null = counting off).
   sim::CounterRegistry* counters = nullptr;
+  /// Batched replay (see ChaseOptions::batched).
+  bool batched = true;
 };
 
 /// Average latency of a strided sequential scan (Fig. 7): only every
@@ -102,6 +109,10 @@ struct DcbtOptions {
   std::uint64_t seed = 7;
   /// Optional event sink for the probe stack (null = counting off).
   sim::CounterRegistry* counters = nullptr;
+  /// Batched replay (see ChaseOptions::batched): each block's line
+  /// walk is materialized once and fed through access_batch between
+  /// the DCBT hint and stop.
+  bool batched = true;
 };
 
 /// Achieved read bandwidth (GB/s, single thread) of the random-block

@@ -335,6 +335,19 @@ TEST(Cli, DefaultsApply) {
   EXPECT_FALSE(p.get_flag("quiet", ""));
 }
 
+TEST(Cli, IendsWithIsCaseInsensitive) {
+  // Extension sniffing for --counters: "x.csv", "x.CSV" and "x.CsV"
+  // must all select CSV output.
+  EXPECT_TRUE(iends_with("dump.csv", ".csv"));
+  EXPECT_TRUE(iends_with("dump.CSV", ".csv"));
+  EXPECT_TRUE(iends_with("dump.CsV", ".csv"));
+  EXPECT_FALSE(iends_with("dump.json", ".csv"));
+  EXPECT_FALSE(iends_with("dumpcsv", ".csv"));   // no dot
+  EXPECT_FALSE(iends_with("csv", ".csv"));       // shorter than suffix
+  EXPECT_TRUE(iends_with(".csv", ".csv"));       // exact match
+  EXPECT_FALSE(iends_with("a.csv.bak", ".csv")); // suffix, not substring
+}
+
 TEST(Cli, UnknownOptionRejected) {
   const char* argv[] = {"prog", "--mystery=1"};
   ArgParser p(2, argv);

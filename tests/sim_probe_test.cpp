@@ -2,7 +2,12 @@
 // residuals, TLB penalties and SMP hop extras.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <vector>
+
 #include "arch/spec.hpp"
+#include "sim/counters.hpp"
 #include "sim/machine/latency_probe.hpp"
 #include "sim/machine/machine.hpp"
 
@@ -164,6 +169,134 @@ TEST(Machine, ProbeFactoryWiresRemoteLatency) {
   const double l = lp.access(0).latency_ns;
   const double r = rp.access(0).latency_ns;
   EXPECT_NEAR(r - l, m.topology().min_latency_ns(4, 0), 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Batched-replay equivalence: access_batch() must leave the probe in
+// exactly the state the access() loop produces — virtual clock double
+// for double and every counter in the stack — for any pattern and any
+// chunking.
+
+/// Replays `trace` through a scalar probe and through access_batch in
+/// `chunk`-sized pieces, then requires bit-identical clocks and
+/// identical counter snapshots.
+void expect_batch_equals_scalar(const ProbeConfig& cfg,
+                                const std::vector<std::uint64_t>& trace,
+                                std::size_t chunk) {
+  LatencyProbe scalar(cfg);
+  CounterRegistry scalar_counters;
+  scalar.attach_counters(&scalar_counters);
+  for (const std::uint64_t addr : trace) scalar.access(addr);
+
+  LatencyProbe batched(cfg);
+  CounterRegistry batched_counters;
+  batched.attach_counters(&batched_counters);
+  BatchStats stats;
+  const std::span<const std::uint64_t> all(trace);
+  for (std::size_t i = 0; i < trace.size(); i += chunk)
+    batched.access_batch(all.subspan(i, std::min(chunk, trace.size() - i)),
+                         stats);
+
+  EXPECT_EQ(batched.now_ns(), scalar.now_ns()) << "chunk=" << chunk;
+  EXPECT_EQ(batched_counters.to_csv(), scalar_counters.to_csv())
+      << "chunk=" << chunk;
+  EXPECT_EQ(stats.accesses, trace.size());
+}
+
+ProbeConfig small_page_config(int dscr) {
+  ProbeConfig c = base_config(dscr);
+  c.tlb.page_bytes = 64 * 1024;  // exercise ERAT/TLB misses too
+  return c;
+}
+
+std::vector<std::uint64_t> random_trace(std::uint64_t working_set_bytes,
+                                        std::size_t n) {
+  const std::uint64_t lines = working_set_bytes / 128;
+  std::vector<std::uint64_t> trace(n);
+  std::uint64_t pos = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace[i] = (pos % lines) * 128;
+    pos = pos * 2862933555777941757ULL + 3037000493ULL;
+  }
+  return trace;
+}
+
+std::vector<std::uint64_t> stride_trace(std::size_t n, std::uint64_t lines,
+                                        bool descending) {
+  std::vector<std::uint64_t> trace(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t step = (static_cast<std::uint64_t>(i) % lines) * 128;
+    trace[i] = descending ? (lines * 128 - 128 - step) : step;
+  }
+  return trace;
+}
+
+TEST(ProbeBatch, RandomChaseMatchesScalarEngineOn) {
+  const auto trace = random_trace(4ull << 20, 20000);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{256}, trace.size()})
+    expect_batch_equals_scalar(small_page_config(/*dscr=*/1), trace, chunk);
+}
+
+TEST(ProbeBatch, RandomChaseMatchesScalarEngineOff) {
+  const auto trace = random_trace(4ull << 20, 20000);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{256}, trace.size()})
+    expect_batch_equals_scalar(small_page_config(/*dscr=*/0), trace, chunk);
+}
+
+TEST(ProbeBatch, ForwardStrideMatchesScalar) {
+  // Ascending unit stride with a deep prefetch setting: the fallback
+  // path carries live in-flight prefetches across chunk boundaries.
+  const auto trace = stride_trace(20000, 4096, /*descending=*/false);
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{3}, std::size_t{1000}})
+    expect_batch_equals_scalar(small_page_config(/*dscr=*/7), trace, chunk);
+}
+
+TEST(ProbeBatch, BackwardStrideMatchesScalar) {
+  const auto trace = stride_trace(20000, 4096, /*descending=*/true);
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{3}, std::size_t{1000}})
+    expect_batch_equals_scalar(small_page_config(/*dscr=*/7), trace, chunk);
+}
+
+TEST(ProbeBatch, DcbtHintedBlockMatchesScalar) {
+  // Fig. 8 shape: DCBT stream hint, sequential walk of the block,
+  // stream stop — replayed scalar vs batched (chunk a non-divisor of
+  // the block length to cross block edges mid-chunk).
+  const ProbeConfig cfg = small_page_config(/*dscr=*/0);
+  const std::uint64_t block_lines = 64;
+  const std::uint64_t blocks = 40;
+
+  LatencyProbe scalar(cfg);
+  CounterRegistry scalar_counters;
+  scalar.attach_counters(&scalar_counters);
+  LatencyProbe batched(cfg);
+  CounterRegistry batched_counters;
+  batched.attach_counters(&batched_counters);
+
+  std::vector<std::uint64_t> walk(block_lines);
+  BatchStats stats;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t start = b * block_lines * 128;
+    scalar.dcbt_hint(start, block_lines * 128);
+    for (std::uint64_t i = 0; i < block_lines; ++i)
+      scalar.access(start + i * 128);
+    scalar.dcbt_stop(start);
+
+    for (std::uint64_t i = 0; i < block_lines; ++i)
+      walk[i] = start + i * 128;
+    batched.dcbt_hint(start, block_lines * 128);
+    const std::span<const std::uint64_t> all(walk);
+    for (std::size_t i = 0; i < walk.size(); i += 7)
+      batched.access_batch(
+          all.subspan(i, std::min<std::size_t>(7, walk.size() - i)), stats);
+    batched.dcbt_stop(start);
+  }
+
+  EXPECT_EQ(batched.now_ns(), scalar.now_ns());
+  EXPECT_EQ(batched_counters.to_csv(), scalar_counters.to_csv());
 }
 
 TEST(Machine, ProbeRejectsBadChips) {

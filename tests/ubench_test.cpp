@@ -214,5 +214,73 @@ TEST(Dcbt, RejectsSubLineBlocks) {
                std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------
+// Batched replay through the workload drivers: every driver must
+// report the same result — and drive the same counter totals — with
+// batched replay on or off.
+
+TEST(BatchedReplay, ChasePatternsMatchScalar) {
+  for (const ChasePattern pattern :
+       {ChasePattern::kRandom, ChasePattern::kForwardStride,
+        ChasePattern::kBackwardStride}) {
+    ChaseOptions batched;
+    batched.working_set_bytes = mib(4);
+    batched.page_bytes = 64 * 1024;
+    batched.dscr = 2;  // prefetch on: streams cross the replay chunks
+    batched.pattern = pattern;
+    batched.warm_accesses = 1u << 15;
+    batched.measure_accesses = 1u << 15;
+    ChaseOptions scalar = batched;
+    scalar.batched = false;
+
+    sim::CounterRegistry batched_counters, scalar_counters;
+    batched.counters = &batched_counters;
+    scalar.counters = &scalar_counters;
+
+    const double lat_batched = chase_latency_ns(machine(), batched);
+    const double lat_scalar = chase_latency_ns(machine(), scalar);
+    EXPECT_EQ(lat_batched, lat_scalar)
+        << "pattern " << static_cast<int>(pattern);
+    EXPECT_EQ(batched_counters.to_csv(), scalar_counters.to_csv())
+        << "pattern " << static_cast<int>(pattern);
+  }
+}
+
+TEST(BatchedReplay, StrideMatchesScalar) {
+  StrideOptions batched;
+  batched.accesses = 50000;
+  StrideOptions scalar = batched;
+  scalar.batched = false;
+
+  sim::CounterRegistry batched_counters, scalar_counters;
+  batched.counters = &batched_counters;
+  scalar.counters = &scalar_counters;
+
+  EXPECT_EQ(stride_latency_ns(machine(), batched),
+            stride_latency_ns(machine(), scalar));
+  EXPECT_EQ(batched_counters.to_csv(), scalar_counters.to_csv());
+}
+
+TEST(BatchedReplay, DcbtMatchesScalar) {
+  for (const bool use_dcbt : {false, true}) {
+    DcbtOptions batched;
+    batched.block_bytes = 2048;
+    batched.total_bytes = 4ull << 20;
+    batched.use_dcbt = use_dcbt;
+    DcbtOptions scalar = batched;
+    scalar.batched = false;
+
+    sim::CounterRegistry batched_counters, scalar_counters;
+    batched.counters = &batched_counters;
+    scalar.counters = &scalar_counters;
+
+    EXPECT_EQ(dcbt_block_bandwidth_gbs(machine(), batched),
+              dcbt_block_bandwidth_gbs(machine(), scalar))
+        << "use_dcbt " << use_dcbt;
+    EXPECT_EQ(batched_counters.to_csv(), scalar_counters.to_csv())
+        << "use_dcbt " << use_dcbt;
+  }
+}
+
 }  // namespace
 }  // namespace p8::ubench

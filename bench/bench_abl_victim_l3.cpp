@@ -6,17 +6,26 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "sim/machine/machine.hpp"
 #include "sim/machine/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  const bool no_audit = bench::no_audit_arg(args);
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
   bench::print_header("Ablation",
                       "NUCA victim L3 on/off (Fig. 2 mid-range shelf)");
 
   const sim::Machine machine = sim::Machine::e870();
+  if (!bench::gate_model(machine, no_audit)) return 2;
 
   auto probe_at = [&](std::uint64_t ws, bool victim) {
     sim::ProbeOptions opts;
@@ -38,6 +47,8 @@ int main() {
                                            common::mib(96)};
   // Sweep grid: (working set) x (victim on, off), fanned over a pool.
   sim::SweepRunner runner;
+  runner.gate_on_audit(machine.audit());
+  if (no_audit) runner.waive_audit();
   const auto lat = runner.run(2 * sets.size(), [&](std::size_t i) {
     return probe_at(sets[i / 2], i % 2 == 0);
   });

@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
       args.get_string("json", "", "write machine-readable results here");
   const double perturb = args.get_double(
       "perturb", 1.0, "scale read_link_eff (gate self-test hook)");
+  const bool no_audit = bench::no_audit_arg(args);
   const std::string counters_path = bench::counters_path_arg(args);
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
   sim::MemBandwidthParams mem_params;
   mem_params.read_link_eff *= perturb;
   const sim::Machine machine(arch::e870(), mem_params);
+  if (!bench::gate_model(machine, no_audit)) return 2;
 
   // Local copies of the analytic models so the counter sink can be
   // attached; they solve identically to machine.memory()/noc().

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   common::ArgParser args(argc, argv);
   const double size_factor =
       args.get_double("size-factor", 1.0, "matrix dimension scale");
+  const bool no_audit = bench::no_audit_arg(args);
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
     return 0;
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
 
   // Each suite matrix is one independent cache-replay sweep point.
   sim::SweepRunner runner;
+  if (!bench::gate_model(machine, runner, no_audit)) return 2;
   const auto predictions = runner.run(suite.size(), [&](std::size_t i) {
     return predict::predict_csr_spmv(suite[i].matrix, machine);
   });

@@ -10,16 +10,25 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "predict/spmv_predict.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  const bool no_audit = bench::no_audit_arg(args);
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
   bench::print_header(
       "Figure 12 (model-predicted)",
       "E870 graph SpMV: CSR vs two-phase tiled, R-MAT scales 20-31");
 
   const sim::Machine machine = sim::Machine::e870();
+  if (!bench::gate_model(machine, no_audit)) return 2;
 
   common::TextTable t({"Scale", "nnz", "CSR x-hit", "CSR GFLOP/s",
                        "tile nnz", "tile stream eff", "Tiled GFLOP/s",

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const std::uint64_t max_mb = static_cast<std::uint64_t>(
       args.get_int("max-mb", 512, "largest working set in MiB"));
   const std::string counters_path = bench::counters_path_arg(args);
+  const bool no_audit = bench::no_audit_arg(args);
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
     return 0;
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
   sim::CounterRegistry counters;
   sim::CounterRegistry* reg = counters_path.empty() ? nullptr : &counters;
   sim::SweepRunner runner;
+  if (!bench::gate_model(machine, runner, no_audit)) return 2;
   const auto regular = ubench::memory_latency_scan(machine, sizes, 64 * 1024,
                                                    /*dscr=*/1, runner, reg);
   const auto huge = ubench::memory_latency_scan(machine, sizes, 16ull << 20,

@@ -12,12 +12,14 @@ int main(int argc, char** argv) {
   using namespace p8;
   common::ArgParser args(argc, argv);
   const std::string counters_path = bench::counters_path_arg(args);
+  const bool no_audit = bench::no_audit_arg(args);
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
     return 0;
   }
 
   const sim::Machine machine = sim::Machine::e870();
+  if (!bench::gate_model(machine, no_audit)) return 2;
   const sim::RwMix mix{2, 1};
   // Counter-attachable copy; solves identically to machine.memory().
   sim::CounterRegistry counters;

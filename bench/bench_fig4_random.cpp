@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace p8;
   common::ArgParser args(argc, argv);
   const std::string counters_path = bench::counters_path_arg(args);
+  const bool no_audit = bench::no_audit_arg(args);
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
     return 0;
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
       "Figure 4", "random-access bandwidth vs SMT x lists/thread (64 cores)");
 
   const sim::Machine machine = sim::Machine::e870();
+  if (!bench::gate_model(machine, no_audit)) return 2;
   // Counter-attachable copy; solves identically to machine.memory().
   sim::CounterRegistry counters;
   sim::MemoryBandwidthModel mem = machine.memory();

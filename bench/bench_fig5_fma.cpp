@@ -4,15 +4,24 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "sim/machine/machine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  const bool no_audit = bench::no_audit_arg(args);
+  if (args.finish()) {
+    std::printf("%s", args.help().c_str());
+    return 0;
+  }
+
   bench::print_header("Figure 5",
                       "FMA %% of peak vs loop FMAs x threads/core");
 
   const sim::Machine machine = sim::Machine::e870();
+  if (!bench::gate_model(machine, no_audit)) return 2;
   const sim::CoreSim sim = machine.core_sim();
 
   common::TextTable t({"FMAs in loop", "SMT1", "SMT2", "SMT3", "SMT4",

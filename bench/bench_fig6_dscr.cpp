@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace p8;
   common::ArgParser args(argc, argv);
   const std::string counters_path = bench::counters_path_arg(args);
+  const bool no_audit = bench::no_audit_arg(args);
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
     return 0;
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   sim::CounterRegistry counters;
   sim::CounterRegistry* reg = counters_path.empty() ? nullptr : &counters;
   sim::SweepRunner runner;
+  if (!bench::gate_model(machine, runner, no_audit)) return 2;
   const auto lats =
       runner.run_counted(7, reg, [&](std::size_t i, sim::CounterRegistry* r) {
         ubench::StrideOptions opt;

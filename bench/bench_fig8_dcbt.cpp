@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace p8;
   common::ArgParser args(argc, argv);
   const std::string counters_path = bench::counters_path_arg(args);
+  const bool no_audit = bench::no_audit_arg(args);
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
     return 0;
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   sim::CounterRegistry counters;
   sim::CounterRegistry* reg = counters_path.empty() ? nullptr : &counters;
   sim::SweepRunner runner;
+  if (!bench::gate_model(machine, runner, no_audit)) return 2;
   const auto bw = runner.run_counted(
       2 * std::size(sizes), reg, [&](std::size_t i, sim::CounterRegistry* r) {
         ubench::DcbtOptions opt;

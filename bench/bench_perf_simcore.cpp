@@ -154,6 +154,7 @@ int main(int argc, char** argv) {
       args.get_int("reps", 5, "hot-path timing repetitions (best-of-N)"));
   const std::string json_path = args.get_string(
       "json", "BENCH_perf_simcore.json", "machine-readable output file");
+  const bool no_audit = bench::no_audit_arg(args);
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
     return 0;
@@ -162,6 +163,7 @@ int main(int argc, char** argv) {
   bench::print_header("Perf", "simulator hot-path and sweep-engine timing");
 
   const sim::Machine machine = sim::Machine::e870();
+  if (!bench::gate_model(machine, no_audit)) return 2;
 
   const HotPathResult seq = seq_scan(machine, accesses, reps);
   const HotPathResult cha = chase(machine, accesses, reps);
@@ -173,6 +175,8 @@ int main(int argc, char** argv) {
   const double seq_s = timer.seconds();
 
   sim::SweepRunner runner(threads);
+  runner.gate_on_audit(machine.audit());
+  if (no_audit) runner.waive_audit();
   timer.restart();
   const auto parallel = ubench::memory_latency_scan(
       machine, sizes, 16ull << 20, /*dscr=*/1, runner);

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace p8;
   common::ArgParser args(argc, argv);
   const std::string counters_path = bench::counters_path_arg(args);
+  const bool no_audit = bench::no_audit_arg(args);
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
     return 0;
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
                       "SMP interconnect latency (ns) and bandwidth (GB/s)");
 
   const sim::Machine machine = sim::Machine::e870();
+  if (!bench::gate_model(machine, no_audit)) return 2;
   // Counter-attachable copy; solves identically to machine.noc().  The
   // probe-measured column records through ChaseOptions::counters.
   sim::CounterRegistry counters;

@@ -9,7 +9,10 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "sim/audit.hpp"
 #include "sim/counters.hpp"
+#include "sim/machine/machine.hpp"
+#include "sim/machine/sweep.hpp"
 
 namespace p8::bench {
 
@@ -56,6 +59,47 @@ inline bool write_counters(const sim::CounterRegistry& registry,
   std::fputs(body.c_str(), f);
   std::fclose(f);
   return true;
+}
+
+/// Declares the shared `--no-audit` flag: waive a failed ModelAudit and
+/// simulate the (structurally wrong) configuration anyway.  Must be
+/// called before args.finish(), like every other declaration.
+inline bool no_audit_arg(common::ArgParser& args) {
+  return args.get_flag(
+      "no-audit",
+      "run even if the machine configuration fails its model audit");
+}
+
+/// Audit gate every bench runs after constructing its Machine: prints
+/// the audit diagnostics to stderr and returns false — callers turn
+/// that into exit code 2 — when the configuration carries errors and
+/// `no_audit` was not passed.  Warnings are printed but never block.
+/// A waived failing audit is announced so a sweep log shows the run
+/// was a deliberate counterfactual.
+inline bool gate_model(const sim::Machine& machine, bool no_audit) {
+  const sim::AuditReport& report = machine.audit();
+  if (!report.diagnostics.empty())
+    std::fputs(report.to_string().c_str(), stderr);
+  if (report.ok()) return true;
+  if (no_audit) {
+    std::fputs("audit: FAILED but waived by --no-audit\n", stderr);
+    return true;
+  }
+  std::fputs(
+      "audit: FAILED — refusing to simulate a structurally wrong machine "
+      "(pass --no-audit to run anyway)\n",
+      stderr);
+  return false;
+}
+
+/// gate_model() for benches that sweep: also arms (or waives) the
+/// SweepRunner's own gate, so a model that dodges the bench-level check
+/// still cannot be swept.
+inline bool gate_model(const sim::Machine& machine, sim::SweepRunner& runner,
+                       bool no_audit) {
+  runner.gate_on_audit(machine.audit());
+  if (no_audit) runner.waive_audit();
+  return gate_model(machine, no_audit);
 }
 
 }  // namespace p8::bench

@@ -57,3 +57,13 @@ cmake -B build-asan -S . -DP8_SANITIZE=address
 cmake --build build-asan -j --target sim_counters_test sweep_test
 ./build-asan/tests/sim_counters_test
 ./build-asan/tests/sweep_test
+
+# Contract pass: a contracts-forced Debug build runs the parallel
+# sweep, audit and contract-macro tests with every P8_ENSURE /
+# P8_INVARIANT active — proves the hot-path invariants hold on real
+# sweep workloads, not just that they compile.
+cmake -B build-contracts -S . -DCMAKE_BUILD_TYPE=Debug -DP8_CONTRACTS=ON
+cmake --build build-contracts -j --target sweep_test contracts_test sim_audit_test
+./build-contracts/tests/sweep_test
+./build-contracts/tests/contracts_test
+./build-contracts/tests/sim_audit_test

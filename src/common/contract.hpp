@@ -1,0 +1,116 @@
+// Contract layer: checked invariants for the simulator hot paths.
+//
+// The always-on precondition macros in error.hpp (P8_REQUIRE /
+// P8_ASSERT) guard API boundaries — construction-time argument
+// validation on cold paths, active in every build.  This header adds
+// the *hot-path* tier: postconditions (P8_ENSURE) and internal
+// invariants (P8_INVARIANT) that sit inside the per-access simulator
+// loops, where an always-on check would be measurable.  They are
+//
+//   * compiled out entirely in Release (the perf-measurement
+//     configuration), so the figure/table benches stay byte-identical
+//     and full speed;
+//   * active in Debug by default, and in ANY configuration when the
+//     build sets -DP8_CONTRACTS=ON (which defines
+//     P8_CONTRACTS_ENABLED=1 on the compile line).
+//
+// When disabled, the expression is still *parsed* (an unevaluated
+// sizeof operand) so contract expressions cannot bit-rot, but no code
+// is generated and the expression's side effects — there must be none
+// — never run.  When enabled, a violation throws ContractViolation
+// carrying the failed expression text and source location; contracts
+// signal simulator *bugs*, so they derive from std::logic_error.
+//
+// Rules of use:
+//   P8_REQUIRE   — caller error, always on, cold paths (error.hpp).
+//   P8_ENSURE    — "what this function just guaranteed" (postcondition).
+//   P8_INVARIANT — "what must hold mid-flight" (data-structure state).
+//   P8_STATIC_REQUIRE — compile-time contract (static_assert spelled
+//                  in the same family, used for template constraints).
+//
+// Contract expressions must be observational: reads only, no state
+// changes, so enabling contracts can never alter simulated results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/error.hpp"
+
+#if !defined(P8_CONTRACTS_ENABLED)
+#if defined(NDEBUG)
+#define P8_CONTRACTS_ENABLED 0
+#else
+#define P8_CONTRACTS_ENABLED 1
+#endif
+#endif
+
+namespace p8::common {
+
+/// A violated P8_ENSURE / P8_INVARIANT: an internal simulator bug, not
+/// a caller error.  Carries the failed expression text separately so
+/// tests (and tools) can match on it without parsing the message.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& msg)
+      : std::logic_error(std::string(file) + ":" + std::to_string(line) +
+                         ": " + kind + " violated: " + expr +
+                         (msg.empty() ? "" : " — " + msg)),
+        expression_(expr) {}
+
+  /// The stringified expression that evaluated false.
+  const char* expression() const noexcept { return expression_; }
+
+ private:
+  const char* expression_;
+};
+
+[[noreturn]] inline void throw_contract_violation(const char* kind,
+                                                  const char* expr,
+                                                  const char* file, int line,
+                                                  const std::string& msg) {
+  throw ContractViolation(kind, expr, file, line, msg);
+}
+
+/// True when this translation unit was compiled with contracts active
+/// — lets tests assert the build mode they are checking.  Internal
+/// linkage on purpose: the answer is a per-TU property (tests force
+/// the macro per translation unit), so every TU must get its own copy
+/// rather than whichever inline definition the linker kept.
+static constexpr bool contracts_enabled() { return P8_CONTRACTS_ENABLED != 0; }
+
+}  // namespace p8::common
+
+/// Compile-time contract, same family spelling as the runtime macros.
+#define P8_STATIC_REQUIRE(expr, msg) static_assert(expr, msg)
+
+#if P8_CONTRACTS_ENABLED
+
+#define P8_ENSURE(expr, msg)                                                \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::p8::common::throw_contract_violation("postcondition", #expr,        \
+                                             __FILE__, __LINE__, (msg));    \
+  } while (false)
+
+#define P8_INVARIANT(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::p8::common::throw_contract_violation("invariant", #expr, __FILE__,  \
+                                             __LINE__, (msg));              \
+  } while (false)
+
+#else  // contracts compiled out: parse the expression, generate nothing
+
+#define P8_ENSURE(expr, msg) \
+  do {                       \
+    (void)sizeof((expr));    \
+  } while (false)
+
+#define P8_INVARIANT(expr, msg) \
+  do {                          \
+    (void)sizeof((expr));       \
+  } while (false)
+
+#endif  // P8_CONTRACTS_ENABLED

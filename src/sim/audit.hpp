@@ -1,0 +1,104 @@
+// Model self-consistency audit: reject wrong configurations before
+// they simulate.
+//
+// Every number the paper's figures rest on — the Fig. 2 latency
+// plateaus, the 3 MB ERAT spike, the Table III 2:1 read:write
+// bandwidth peak, the Table IV SMP-hop figures — *emerges* from a
+// structurally consistent model.  A silently inconsistent
+// configuration (inverted L2/L3 latencies, a non-power-of-two set
+// count, a prefetch engine whose line size disagrees with the cache
+// hierarchy it feeds) still produces plausible-looking curves that
+// are simply wrong.  ModelAudit is the static-analysis pass over a
+// machine configuration: it checks every rule it knows, returns a
+// structured diagnostic list (never throws — garbage in, diagnostics
+// out), and the bench entry points plus SweepRunner refuse to start
+// on a failed audit unless --no-audit is passed.
+//
+// Each rule is named (`<area>.<rule>`) and maps to the paper artifact
+// it protects; docs/ANALYSIS.md carries the full table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "sim/cache/hierarchy.hpp"
+#include "sim/cache/tlb.hpp"
+#include "sim/machine/latency_probe.hpp"
+#include "sim/mem/bandwidth.hpp"
+#include "sim/noc/noc.hpp"
+#include "sim/prefetch/engine.hpp"
+
+namespace p8::sim {
+
+enum class AuditSeverity {
+  kWarning,  ///< suspicious but simulable; reported, does not gate
+  kError     ///< structurally wrong; benches refuse to run on it
+};
+
+const char* to_string(AuditSeverity severity);
+
+/// One violated (or suspicious) audit rule.
+struct AuditDiagnostic {
+  std::string rule;  ///< stable id, e.g. "hierarchy.latency-order"
+  AuditSeverity severity = AuditSeverity::kError;
+  std::string message;  ///< what is wrong, with the offending values
+};
+
+/// The structured result of one audit pass.  Empty == fully clean.
+struct AuditReport {
+  std::vector<AuditDiagnostic> diagnostics;
+
+  bool ok() const { return error_count() == 0; }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+
+  /// True when `rule` appears among the diagnostics (any severity).
+  bool has(const std::string& rule) const;
+
+  /// One "audit: <severity> [<rule>] <message>" line per diagnostic.
+  std::string to_string() const;
+
+  void add(AuditSeverity severity, std::string rule, std::string message);
+  void merge(const AuditReport& other);
+};
+
+/// The audit passes.  All are pure functions of the configuration:
+/// they read, diagnose and return — no throwing, no mutation — so a
+/// bench can show the user *every* problem at once.
+class ModelAudit {
+ public:
+  /// Cache-hierarchy geometry and latency ordering (Fig. 2 plateaus).
+  static AuditReport hierarchy(const HierarchyConfig& config);
+
+  /// ERAT/TLB reach and penalty ordering (the Fig. 2 3 MB spike).
+  static AuditReport tlb(const TlbConfig& config);
+
+  /// Prefetch-engine state-machine bounds (Figs. 6-8).
+  static AuditReport prefetch(const PrefetchConfig& config);
+
+  /// Centaur link ratios and efficiency bounds (Table III).
+  static AuditReport bandwidth(const arch::SystemSpec& spec,
+                               const MemBandwidthParams& params);
+
+  /// Interconnect loss-model bounds (Table IV).
+  static AuditReport noc(const NocParams& params);
+
+  /// System-level spec arithmetic: SMT/core/socket bounds (§II).
+  static AuditReport system(const arch::SystemSpec& spec);
+
+  /// A fully assembled probe configuration, including the
+  /// cross-component consistency rules (probe.line-bytes,
+  /// probe.latency-consistency) that no single component can see.
+  static AuditReport probe_config(const ProbeConfig& config);
+
+  /// Everything a Machine is built from: system spec, bandwidth
+  /// model, NoC model, and the probe stack the spec implies.  This is
+  /// what Machine runs at construction and what the bench gate
+  /// enforces.
+  static AuditReport machine(const arch::SystemSpec& spec,
+                             const MemBandwidthParams& mem_params,
+                             const NocParams& noc_params);
+};
+
+}  // namespace p8::sim

@@ -3,9 +3,31 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace p8::sim {
+
+namespace {
+
+/// Every valid way in a set must carry a distinct LRU stamp — two equal
+/// stamps would make the replacement victim depend on scan order rather
+/// than recency, silently breaking true-LRU.  Quadratic in ways, so
+/// only ever called from contract checks.
+template <typename Entries>
+bool lru_stamps_distinct(const Entries& entries, std::uint64_t base,
+                         unsigned ways, std::uint64_t valid_bit) {
+  for (unsigned a = 0; a < ways; ++a) {
+    if (!(entries[base + a].meta & valid_bit)) continue;
+    for (unsigned b = a + 1; b < ways; ++b) {
+      if (!(entries[base + b].meta & valid_bit)) continue;
+      if (entries[base + a].lru == entries[base + b].lru) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, unsigned ways,
                              std::uint64_t line_bytes)
@@ -31,6 +53,11 @@ SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes, unsigned ways,
     div_safe_ = (~std::uint64_t{0} / sets_) >> 1;
   }
   entries_.resize(sets_ * ways_);
+  P8_ENSURE(sets_ * ways_ * line_bytes_ == capacity_,
+            "derived geometry must tile the capacity exactly");
+  P8_ENSURE(entries_.size() == sets_ * ways_,
+            "entry array must cover every (set, way) pair");
+  P8_ENSURE(resident_lines() == 0, "a fresh cache must be empty");
 }
 
 std::uint64_t SetAssocCache::scan_set(std::uint64_t base, std::uint64_t want,
@@ -64,14 +91,15 @@ bool SetAssocCache::touch_install(std::uint64_t addr) {
   std::uint64_t set, tag;
   split(addr, set, tag);
   const std::uint64_t want = meta_of(tag, kValid);
-  std::uint64_t victim;
-  bool victim_invalid;
+  std::uint64_t victim = kNoEntry;
+  bool victim_invalid = false;
   const std::uint64_t e = scan_set(set * ways_, want, victim, victim_invalid);
   if (e != kNoEntry) {
     entries_[e].lru = ++clock_;
     return true;
   }
   entries_[victim] = {want, ++clock_};
+  P8_ENSURE(probe(addr), "touch_install must leave the line resident");
   return false;
 }
 
@@ -79,8 +107,8 @@ bool SetAssocCache::touch_slot(std::uint64_t addr, Slot& slot) {
   std::uint64_t set, tag;
   split(addr, set, tag);
   const std::uint64_t want = meta_of(tag, kValid);
-  std::uint64_t victim;
-  bool victim_invalid;
+  std::uint64_t victim = kNoEntry;
+  bool victim_invalid = false;
   const std::uint64_t e = scan_set(set * ways_, want, victim, victim_invalid);
   if (e != kNoEntry) {
     entries_[e].lru = ++clock_;
@@ -90,11 +118,22 @@ bool SetAssocCache::touch_slot(std::uint64_t addr, Slot& slot) {
   slot.set = set;
   slot.invalid_way = victim_invalid;
   slot.recorded = true;
+  P8_ENSURE(slot.entry >= slot.set * ways_ &&
+                slot.entry < (slot.set + 1) * ways_,
+            "recorded victim way must lie inside the recorded set");
   return false;
 }
 
 std::optional<SetAssocCache::Eviction> SetAssocCache::install_line_at(
     const Slot& slot, std::uint64_t addr, bool dirty) {
+  P8_INVARIANT(slot.recorded,
+               "install_line_at needs a slot recorded by a touch_slot miss");
+  P8_INVARIANT(slot.set == set_of(addr),
+               "slot was recorded for a different set than addr maps to");
+  P8_INVARIANT(!probe(addr),
+               "line resident at install_line_at: the recorded scan is stale");
+  P8_INVARIANT(slot.invalid_way == !(entries_[slot.entry].meta & kValid),
+               "slot victim validity changed since it was recorded");
   const std::uint64_t e = slot.entry;
   std::optional<Eviction> evicted;
   if (!slot.invalid_way)
@@ -102,6 +141,9 @@ std::optional<SetAssocCache::Eviction> SetAssocCache::install_line_at(
                        (entries_[e].meta & kDirty) != 0};
   entries_[e] = {meta_of(tag_of(addr), kValid | (dirty ? kDirty : 0)),
                  ++clock_};
+  P8_ENSURE(probe(addr), "install_line_at must leave the line resident");
+  P8_ENSURE(lru_stamps_distinct(entries_, slot.set * ways_, ways_, kValid),
+            "LRU stamps must stay distinct within the installed set");
   return evicted;
 }
 
@@ -110,6 +152,7 @@ std::optional<bool> SetAssocCache::take(std::uint64_t addr) {
   if (e == kNoEntry) return std::nullopt;
   const bool dirty = (entries_[e].meta & kDirty) != 0;
   entries_[e].meta = 0;
+  P8_ENSURE(!probe(addr), "take must remove the line it returned");
   return dirty;
 }
 
@@ -129,8 +172,8 @@ std::optional<SetAssocCache::Eviction> SetAssocCache::install_line(
   std::uint64_t set, tag;
   split(addr, set, tag);
   const std::uint64_t want = meta_of(tag, kValid);
-  std::uint64_t victim;
-  bool victim_invalid;
+  std::uint64_t victim = kNoEntry;
+  bool victim_invalid = false;
   // Reuse an existing entry (refresh), then an invalid way, then LRU.
   const std::uint64_t e = scan_set(set * ways_, want, victim, victim_invalid);
   if (e != kNoEntry) {
@@ -143,6 +186,11 @@ std::optional<SetAssocCache::Eviction> SetAssocCache::install_line(
     evicted = Eviction{line_addr(set, tag_bits(entries_[victim].meta)),
                        (entries_[victim].meta & kDirty) != 0};
   entries_[victim] = {want | (dirty ? kDirty : 0), ++clock_};
+  P8_ENSURE(probe(addr), "install_line must leave the line resident");
+  P8_ENSURE(!evicted || evicted->line != (addr >> line_shift_ << line_shift_),
+            "install_line must never report the installed line as evicted");
+  P8_ENSURE(lru_stamps_distinct(entries_, set * ways_, ways_, kValid),
+            "LRU stamps must stay distinct within the installed set");
   return evicted;
 }
 
@@ -168,6 +216,7 @@ bool SetAssocCache::invalidate(std::uint64_t addr) {
 void SetAssocCache::clear() {
   std::fill(entries_.begin(), entries_.end(), Entry{});
   clock_ = 0;
+  P8_ENSURE(resident_lines() == 0, "clear must leave no resident lines");
 }
 
 std::uint64_t SetAssocCache::resident_lines() const {

@@ -1,5 +1,6 @@
 #include "sim/cache/hierarchy.hpp"
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
 
@@ -84,6 +85,15 @@ ChipMemoryModel::ChipMemoryModel(const HierarchyConfig& config)
       l3_victim_(make_victim_pool(config)),
       l4_(make_l4(config)) {
   P8_REQUIRE(config.chip_cores >= 1, "chip needs at least one core");
+  P8_ENSURE(l1_.line_bytes() == l2_.line_bytes() &&
+                l2_.line_bytes() == l3_.line_bytes() &&
+                l3_.line_bytes() == l3_victim_.line_bytes() &&
+                l3_victim_.line_bytes() == l4_.line_bytes(),
+            "every level must use the same line size or cast-outs would "
+            "change granularity mid-hierarchy");
+  P8_ENSURE(l1_.capacity_bytes() < l2_.capacity_bytes() &&
+                l2_.capacity_bytes() < l3_.capacity_bytes(),
+            "demand levels must grow strictly downward");
 }
 
 void ChipMemoryModel::cast_into_victim(const SetAssocCache::Eviction& line) {
@@ -240,7 +250,10 @@ ServiceLevel ChipMemoryModel::access(std::uint64_t addr) {
     return ServiceLevel::kL2;
   }
   events_.l2_miss.add();
-  return locate_and_fill(addr, l1_slot, l2_slot);
+  const ServiceLevel from = locate_and_fill(addr, l1_slot, l2_slot);
+  P8_ENSURE(l1_.probe(addr),
+            "a demand miss must end with the line filled into L1");
+  return from;
 }
 
 ServiceLevel ChipMemoryModel::access_after_l1_miss(
@@ -275,6 +288,8 @@ ServiceLevel ChipMemoryModel::access_write(std::uint64_t addr) {
   // Write-allocate: fetch the line, then dirty it in L2.
   const ServiceLevel from = locate_and_fill(addr, l1_slot, l2_slot);
   l2_.mark_dirty(addr);
+  P8_ENSURE(l2_.is_dirty(addr),
+            "a store must leave the only dirty copy in the store-in L2");
   return from;
 }
 
@@ -324,6 +339,9 @@ void ChipMemoryModel::clear() {
   l3_.clear();
   l3_victim_.clear();
   l4_.clear();
+  P8_ENSURE(l1_.resident_lines() == 0 && l2_.resident_lines() == 0 &&
+                l3_.resident_lines() == 0,
+            "clear must empty the demand levels");
 }
 
 }  // namespace p8::sim

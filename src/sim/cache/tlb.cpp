@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace p8::sim {
@@ -30,6 +31,14 @@ Tlb::Tlb(const TlbConfig& config)
              "TLB entries must be a whole number of sets");
   // page_bytes is a power of two (the ERAT constructor enforced it).
   page_shift_ = static_cast<unsigned>(std::countr_zero(config.page_bytes));
+  P8_ENSURE(erat_.ways() == config.erat_entries,
+            "ERAT must be fully associative: one set spanning every entry");
+  P8_ENSURE(erat_.capacity_bytes() ==
+                static_cast<std::uint64_t>(config.erat_entries) *
+                    config.page_bytes,
+            "ERAT reach must be entries * page size");
+  P8_ENSURE(tlb_.sets() * tlb_.ways() == config.tlb_entries,
+            "TLB geometry must account for every configured entry");
 }
 
 TlbOutcome Tlb::translate(std::uint64_t addr) {
@@ -56,6 +65,8 @@ TlbOutcome Tlb::translate(std::uint64_t addr) {
   }
   events_.walk.add();
   tlb_.install(addr);
+  P8_ENSURE(erat_.probe(addr) && tlb_.probe(addr),
+            "a walk must leave the page resident in both ERAT and TLB");
   return TlbOutcome::kWalk;
 }
 
@@ -84,6 +95,8 @@ void Tlb::clear() {
   erat_.clear();
   tlb_.clear();
   last_page_ = ~std::uint64_t{0};
+  P8_ENSURE(erat_.resident_lines() == 0 && tlb_.resident_lines() == 0,
+            "clear must empty both translation structures");
 }
 
 }  // namespace p8::sim

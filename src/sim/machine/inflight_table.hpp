@@ -14,9 +14,12 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "common/contract.hpp"
 
 namespace p8::sim {
 
@@ -39,7 +42,13 @@ class InflightTable {
 
   /// Inserts or overwrites.
   void insert(std::uint64_t line, double completion) {
+    P8_INVARIANT(line != kEmpty,
+                 "the all-ones line address is the empty sentinel and can "
+                 "never be a real key (keys are line-aligned)");
     if ((size_ + 1) * 8 > key_.size() * 7) rehash(key_.size() * 2);
+    P8_INVARIANT(size_ < key_.size(),
+                 "the table must keep at least one empty slot or probe "
+                 "chains would never terminate");
     std::size_t s = hash(line);
     while (key_[s] != kEmpty) {
       if (key_[s] == line) {
@@ -75,6 +84,8 @@ class InflightTable {
     }
     key_[hole] = kEmpty;
     --size_;
+    P8_ENSURE(slot_of(line) == kNotFound,
+              "erase must leave no reachable slot for the erased line");
   }
 
   void clear() {
@@ -101,6 +112,9 @@ class InflightTable {
   }
 
   void rehash(std::size_t capacity) {
+    P8_INVARIANT(std::has_single_bit(capacity),
+                 "capacity must stay a power of two: probing wraps with a "
+                 "mask, not a modulo");
     std::vector<std::uint64_t> old_key = std::move(key_);
     std::vector<double> old_value = std::move(value_);
     key_.assign(capacity, kEmpty);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace p8::sim {
@@ -30,6 +31,8 @@ void LatencyProbe::launch(const std::vector<PrefetchRequest>& requests) {
     double fill = memory_.latency_ns(src);
     if (src == ServiceLevel::kL4 || src == ServiceLevel::kDram)
       fill += config_.remote_extra_ns;
+    P8_INVARIANT(fill >= 0.0,
+                 "a prefetch fill can never complete before it was issued");
     inflight_.insert(line, now_ns_ + fill);
   }
 }
@@ -93,6 +96,9 @@ AccessTiming LatencyProbe::access_resolved(std::uint64_t addr,
     engine_.on_access(line, requests_);
     launch(requests_);
   }
+  P8_INVARIANT(latency >= 0.0 && config_.compute_per_access_ns >= 0.0,
+               "the probe clock must be monotone: no access may take "
+               "negative time");
   now_ns_ += latency + config_.compute_per_access_ns;
   return t;
 }
@@ -177,6 +183,10 @@ void LatencyProbe::access_batch(std::span<const std::uint64_t> addrs,
     memory_.add_batched_l1_load_hits(fast);
     events_.accesses.add(fast);
   }
+  P8_ENSURE(now_ns_ >= t0,
+            "replaying a chunk must never move the probe clock backwards");
+  P8_ENSURE(fast <= addrs.size(),
+            "the fast path cannot claim more accesses than the chunk holds");
   stats.accesses += addrs.size();
   stats.l1_fast_hits += fast;
   stats.prefetched_hits += prefetched;
@@ -205,6 +215,7 @@ void LatencyProbe::reset() {
   engine_.clear();
   inflight_.clear();
   now_ns_ = 0.0;
+  P8_ENSURE(inflight_.empty(), "reset must drain every in-flight fill");
 }
 
 }  // namespace p8::sim

@@ -10,7 +10,8 @@ Machine::Machine(const arch::SystemSpec& spec,
     : spec_(spec),
       topology_(arch::Topology::from_spec(spec)),
       memory_(spec, mem_params),
-      noc_(topology_, noc_params) {}
+      noc_(topology_, noc_params),
+      audit_(ModelAudit::machine(spec, mem_params, noc_params)) {}
 
 Machine Machine::e870() { return Machine(arch::e870()); }
 

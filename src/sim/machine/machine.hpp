@@ -6,6 +6,7 @@
 
 #include "arch/spec.hpp"
 #include "arch/topology.hpp"
+#include "sim/audit.hpp"
 #include "sim/core/coresim.hpp"
 #include "sim/machine/latency_probe.hpp"
 #include "sim/mem/bandwidth.hpp"
@@ -45,6 +46,13 @@ class Machine {
   const MemoryBandwidthModel& memory() const { return memory_; }
   const NocModel& noc() const { return noc_; }
 
+  /// The ModelAudit verdict on this machine's configuration, computed
+  /// once at construction.  Construction never throws on a failed
+  /// audit (ablations legitimately build counterfactual machines);
+  /// the bench entry points and SweepRunner consult this report and
+  /// refuse to run on errors unless --no-audit waives them.
+  const AuditReport& audit() const { return audit_; }
+
   /// A cycle-level core simulator for this machine's processor.
   CoreSim core_sim(const CoreSimConfig& config) const;
   CoreSim core_sim() const;
@@ -61,6 +69,7 @@ class Machine {
   arch::Topology topology_;
   MemoryBandwidthModel memory_;
   NocModel noc_;
+  AuditReport audit_;
 };
 
 }  // namespace p8::sim

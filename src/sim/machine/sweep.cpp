@@ -1,5 +1,7 @@
 #include "sim/machine/sweep.hpp"
 
+#include <stdexcept>
+
 namespace p8::sim {
 
 SweepRunner::SweepRunner(std::size_t threads)
@@ -8,5 +10,17 @@ SweepRunner::SweepRunner(std::size_t threads)
       pool_(owned_.get()) {}
 
 SweepRunner::SweepRunner(common::ThreadPool& pool) : pool_(&pool) {}
+
+void SweepRunner::gate_on_audit(const AuditReport& report) {
+  audit_failure_ = report.ok() ? std::string() : report.to_string();
+}
+
+void SweepRunner::check_audit() const {
+  if (audit_failure_.empty()) return;
+  throw std::runtime_error(
+      "SweepRunner: refusing to sweep a model that failed its audit "
+      "(pass --no-audit to waive):\n" +
+      audit_failure_);
+}
 
 }  // namespace p8::sim

@@ -16,11 +16,14 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "common/threading.hpp"
+#include "sim/audit.hpp"
 #include "sim/counters.hpp"
 
 namespace p8::sim {
@@ -37,6 +40,18 @@ class SweepRunner {
   std::size_t threads() const { return pool_->size(); }
   common::ThreadPool& pool() { return *pool_; }
 
+  /// Attaches the ModelAudit verdict of the machine this sweep's
+  /// points simulate.  A report carrying errors makes every
+  /// subsequent run()/map()/run_counted() throw std::runtime_error
+  /// with the diagnostics — millions of simulated accesses against a
+  /// structurally wrong model are worse than no run at all.  Passing
+  /// a clean report clears any earlier failed one.
+  void gate_on_audit(const AuditReport& report);
+
+  /// --no-audit: clears an attached failing audit, letting the sweep
+  /// run anyway (deliberate counterfactual / debugging runs).
+  void waive_audit() { audit_failure_.clear(); }
+
   /// Evaluates `point(i)` for every i in [0, points) across the pool
   /// and returns the results in submission order.  Points are handed
   /// out one at a time from a shared counter (they are few and heavy,
@@ -46,8 +61,9 @@ class SweepRunner {
   auto run(std::size_t points, Fn&& point)
       -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
     using Result = std::invoke_result_t<Fn&, std::size_t>;
-    static_assert(std::is_default_constructible_v<Result>,
-                  "sweep results must be default-constructible");
+    P8_STATIC_REQUIRE(std::is_default_constructible_v<Result>,
+                      "sweep results must be default-constructible");
+    check_audit();
     std::vector<Result> out(points);
     pool_->parallel_for_dynamic(
         0, points, 1, [&](std::size_t i) { out[i] = point(i); });
@@ -86,8 +102,15 @@ class SweepRunner {
   }
 
  private:
+  /// Throws when a failed audit is attached and unwaived.  map() and
+  /// run_counted() funnel through run(), so this one check gates every
+  /// entry point.
+  void check_audit() const;
+
   std::unique_ptr<common::ThreadPool> owned_;
   common::ThreadPool* pool_;
+  /// Formatted diagnostics of an attached failing audit; empty = runnable.
+  std::string audit_failure_;
 };
 
 }  // namespace p8::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "sim/prefetch/engine.hpp"
 
@@ -67,7 +68,12 @@ double MemoryBandwidthModel::stream_gbs(int chips, int cores, int threads,
   const double rlink = read_link_cap_gbs(chips, mix);
   const double wlink = write_link_cap_gbs(chips, mix);
   const double fabric = fabric_cap_gbs(chips);
+  P8_INVARIANT(conc > 0.0 && rlink > 0.0 && wlink > 0.0 && fabric > 0.0,
+               "every bandwidth cap must stay strictly positive — a "
+               "non-positive queue capacity has no physical meaning");
   const double bw = std::min(std::min(conc, rlink), std::min(wlink, fabric));
+  P8_ENSURE(std::isfinite(bw) && bw > 0.0,
+            "the binding cap must yield a finite positive bandwidth");
 
   if (counters_ != nullptr) {
     auto note = [&](const char* name, std::uint64_t n) {
@@ -114,6 +120,12 @@ double MemoryBandwidthModel::random_gbs(int chips, int cores, int threads,
   // closed-network interpolation.
   const double cap = chips * params_.random_row_cap_gbs;
   const double bw = cap * (1.0 - std::exp(-raw / cap));
+  P8_ENSURE(bw >= 0.0 && bw <= cap,
+            "interpolated random bandwidth must stay within the row-"
+            "activate service bound");
+  P8_ENSURE(bw <= raw * (1.0 + 1e-12),
+            "the closed-network interpolation can only lose throughput "
+            "relative to the demand-limited raw rate");
   if (counters_ != nullptr) {
     *counters_->slot(counter_prefix_ + ".random.solves") += 1;
     *counters_->slot(counter_prefix_ + ".random.rowcap.permille") +=

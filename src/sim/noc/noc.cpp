@@ -5,10 +5,27 @@
 #include <limits>
 #include <map>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "sim/prefetch/engine.hpp"
 
 namespace p8::sim {
+
+namespace {
+
+/// A flow's striping fractions must form a probability distribution —
+/// leaked or duplicated traffic would silently corrupt every aggregate
+/// bandwidth figure (Table III).
+bool fractions_normalized(const std::vector<double>& fraction) {
+  double sum = 0.0;
+  for (double f : fraction) {
+    if (!(f >= 0.0 && f <= 1.0 + 1e-9)) return false;
+    sum += f;
+  }
+  return std::abs(sum - 1.0) < 1e-6;
+}
+
+}  // namespace
 
 NocModel::NocModel(const arch::Topology& topology, const NocParams& params)
     : topology_(topology), params_(params) {
@@ -73,6 +90,8 @@ double NocModel::max_uniform_flow_gbs(const std::vector<FlowSpec>& flows,
       total += s.fraction.back();
     }
     for (auto& f : s.fraction) f /= total;
+    P8_ENSURE(fractions_normalized(s.fraction),
+              "initial striping must spread exactly the whole flow");
     states.push_back(std::move(s));
   }
 
@@ -129,6 +148,11 @@ double NocModel::max_uniform_flow_gbs(const std::vector<FlowSpec>& flows,
     if (!changed) break;
   }
   accumulate_loads(load);
+#if P8_CONTRACTS_ENABLED
+  for (const auto& s : states)
+    P8_INVARIANT(fractions_normalized(s.fraction),
+                 "rebalancing must conserve each flow's total traffic");
+#endif
 
   double v = std::numeric_limits<double>::infinity();
   for (const auto& [key, coeff] : load) {
@@ -143,6 +167,16 @@ double NocModel::max_uniform_flow_gbs(const std::vector<FlowSpec>& flows,
       v = std::min(v, params_.ingest_cap_gbs / ingest[chip]);
   }
 
+  P8_ENSURE(std::isfinite(v) && v > 0.0,
+            "the max-min flow value must be a finite positive bandwidth");
+#if P8_CONTRACTS_ENABLED
+  // No directed link may be loaded past its usable capacity at the
+  // solved flow value (allowing rounding slack) — the whole point of
+  // the max-min solve.
+  for (const auto& [key, coeff] : load)
+    P8_INVARIANT(v * coeff <= usable_link_cap_gbs(key.first) * (1.0 + 1e-6),
+                 "solved flow overloads a directed link");
+#endif
   if (counters_ != nullptr) record_solution(load, ingest, v);
   return v;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace p8::sim {
@@ -43,11 +44,21 @@ PrefetchEngine::PrefetchEngine(const PrefetchConfig& config)
   P8_REQUIRE(config.line_bytes > 0 && std::has_single_bit(config.line_bytes),
              "line size must be a power of two");
   line_shift_ = static_cast<unsigned>(std::countr_zero(config.line_bytes));
+  P8_ENSURE(depth_ >= 0 && depth_ <= 8,
+            "DSCR depth mapping must stay within the modelled 0..8 lines");
+  P8_ENSURE(streams_.size() == config.max_streams,
+            "every configured stream slot must exist");
+  P8_ENSURE(active_streams() == 0, "a fresh engine must track no streams");
 }
 
 void PrefetchEngine::issue_ahead(Stream& s, std::vector<PrefetchRequest>& out) {
+  P8_INVARIANT(s.valid && s.engaged,
+               "only live, engaged streams may issue prefetches");
+  P8_INVARIANT(s.ramp >= 0 && s.ramp <= depth_,
+               "run-ahead ramp must stay within the DSCR depth");
   const int depth = std::min(depth_, s.ramp);
   if (depth == 0 || s.stride == 0) return;
+  const std::int64_t high_water_before = s.high_water;
   // Keep the ramped run-ahead in flight beyond the demand pointer.
   for (int k = 1; k <= depth; ++k) {
     const std::int64_t line = s.last_line + s.stride * k;
@@ -62,6 +73,9 @@ void PrefetchEngine::issue_ahead(Stream& s, std::vector<PrefetchRequest>& out) {
     events_.issued.add();
     s.high_water = line;
   }
+  P8_ENSURE(s.stride > 0 ? s.high_water >= high_water_before
+                         : s.high_water <= high_water_before,
+            "the high-water mark only ever advances in stride direction");
 }
 
 PrefetchEngine::Stream* PrefetchEngine::find_stream(std::int64_t line) {
@@ -93,6 +107,9 @@ PrefetchEngine::Stream& PrefetchEngine::allocate_stream() {
   if (victim->valid) events_.drop.add();  // a live stream loses its slot
   *victim = Stream{};
   victim->valid = true;
+  P8_ENSURE(!victim->engaged && victim->confirmations == 0 &&
+                victim->ramp == 0 && victim->stride == 0,
+            "a freshly allocated stream must start in detection state");
   return *victim;
 }
 
@@ -151,6 +168,10 @@ void PrefetchEngine::on_access(std::uint64_t addr,
     s->ramp = 1;
     events_.engage.add();
   }
+  P8_INVARIANT(!s->engaged || (s->stride != 0 &&
+                               s->confirmations >= config_.confirm_touches),
+               "an engaged stream must have a locked stride and a full "
+               "confirmation count");
   if (s->engaged) {
     s->ramp = std::min(s->ramp + 1, depth_);
     if (s->stride > 0)
@@ -228,6 +249,7 @@ void PrefetchEngine::attach_counters(CounterRegistry* registry,
 void PrefetchEngine::clear() {
   for (auto& s : streams_) s = Stream{};
   clock_ = 0;
+  P8_ENSURE(active_streams() == 0, "clear must tear down every stream");
 }
 
 unsigned PrefetchEngine::active_streams() const {

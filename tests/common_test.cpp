@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/contract.hpp"
 #include "common/partition.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -429,6 +430,31 @@ TEST(Cli, HelpRequested) {
   p.get_int("n", 1, "the n");
   EXPECT_TRUE(p.finish());
   EXPECT_NE(p.help().find("--n"), std::string::npos);
+}
+
+// ------------------------------------------------------------ contracts ----
+// This TU does NOT force P8_CONTRACTS_ENABLED, so it sees whatever the
+// build configured — exactly what the simulator sources see.  The
+// forced-on/forced-off semantics live in contracts_test.cpp /
+// contracts_off_test.cpp; here we pin that the build-facing behaviour
+// matches contracts_enabled().
+
+TEST(Contract, BuildModeMatchesReportedState) {
+  if (contracts_enabled()) {
+    EXPECT_THROW(P8_ENSURE(false, "active in this build"), ContractViolation);
+  } else {
+    EXPECT_NO_THROW(P8_ENSURE(false, "compiled out in this build"));
+  }
+}
+
+TEST(Contract, PassingContractsAreAlwaysSilent) {
+  EXPECT_NO_THROW(P8_ENSURE(2 + 2 == 4, "arithmetic"));
+  EXPECT_NO_THROW(P8_INVARIANT(true, ""));
+}
+
+TEST(Contract, StaticRequireIsUnconditional) {
+  P8_STATIC_REQUIRE(sizeof(void*) >= 4, "pointers are at least 32 bits");
+  SUCCEED();
 }
 
 }  // namespace

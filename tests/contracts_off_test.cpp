@@ -1,0 +1,52 @@
+// Contract-macro semantics with contracts FORCED OFF: the macros must
+// generate no code and never evaluate their expression — this is the
+// zero-cost guarantee the Release figure benches rely on — while still
+// *parsing* the expression, so a contract referencing a renamed member
+// breaks the build instead of bit-rotting.  Paired with
+// contracts_test.cpp (forced ON) in the same test binary.
+#ifdef P8_CONTRACTS_ENABLED
+#undef P8_CONTRACTS_ENABLED
+#endif
+#define P8_CONTRACTS_ENABLED 0
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+
+namespace p8::common {
+namespace {
+
+TEST(ContractsOff, ThisTranslationUnitHasContractsDisabled) {
+  EXPECT_FALSE(contracts_enabled());
+}
+
+TEST(ContractsOff, FailingContractsAreNoOps) {
+  EXPECT_NO_THROW(P8_ENSURE(false, "compiled out"));
+  EXPECT_NO_THROW(P8_INVARIANT(false, "compiled out"));
+}
+
+TEST(ContractsOff, ExpressionIsNeverEvaluated) {
+  int evaluations = 0;
+  P8_ENSURE((++evaluations, false), "must not run");
+  P8_INVARIANT((++evaluations, false), "must not run");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractsOff, ExpensivePredicateIsNeverCalled) {
+  bool called = false;
+  auto expensive = [&called]() {
+    called = true;
+    return false;
+  };
+  P8_INVARIANT(expensive(), "whole-structure scan, contracts only");
+  EXPECT_FALSE(called);
+}
+
+TEST(ContractsOff, StaticRequireStillFires) {
+  // The compile-time tier is not gated: it costs nothing at runtime.
+  P8_STATIC_REQUIRE(sizeof(long long) >= 8, "long long is at least 64 bits");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace p8::common

@@ -1,0 +1,88 @@
+// Contract-macro semantics with contracts FORCED ON, independent of
+// the build type: violations throw ContractViolation carrying the
+// failed expression text, passing contracts evaluate exactly once, and
+// messages compose the kind/file/expression parts correctly.  The
+// paired TU contracts_off_test.cpp forces them OFF and checks the
+// inverse (no evaluation, no code).  Together the two TUs pin the
+// macro behaviour in the same binary regardless of how the tree was
+// configured.
+#ifdef P8_CONTRACTS_ENABLED
+#undef P8_CONTRACTS_ENABLED
+#endif
+#define P8_CONTRACTS_ENABLED 1
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/contract.hpp"
+
+namespace p8::common {
+namespace {
+
+TEST(ContractsOn, ThisTranslationUnitHasContractsActive) {
+  EXPECT_TRUE(contracts_enabled());
+}
+
+TEST(ContractsOn, PassingEnsureIsSilent) {
+  EXPECT_NO_THROW(P8_ENSURE(1 + 1 == 2, "arithmetic works"));
+  EXPECT_NO_THROW(P8_INVARIANT(true, ""));
+}
+
+TEST(ContractsOn, FailingEnsureThrowsContractViolation) {
+  EXPECT_THROW(P8_ENSURE(false, "must fail"), ContractViolation);
+  EXPECT_THROW(P8_INVARIANT(false, "must fail"), ContractViolation);
+  // ContractViolation is a logic_error: contract failures are
+  // simulator bugs, not runtime conditions.
+  EXPECT_THROW(P8_ENSURE(false, ""), std::logic_error);
+}
+
+TEST(ContractsOn, ViolationCarriesExpressionText) {
+  try {
+    const int sets = 3;
+    P8_ENSURE(sets % 2 == 0, "sets must be even");
+    FAIL() << "P8_ENSURE(false) did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.expression(), "sets % 2 == 0");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sets % 2 == 0"), std::string::npos);
+    EXPECT_NE(what.find("postcondition"), std::string::npos);
+    EXPECT_NE(what.find("sets must be even"), std::string::npos);
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ContractsOn, InvariantReportsItsKind) {
+  try {
+    P8_INVARIANT(false, "broken state");
+    FAIL() << "P8_INVARIANT(false) did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(ContractsOn, EmptyMessageOmitsSeparator) {
+  try {
+    P8_INVARIANT(false, "");
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(std::string(e.what()).find(" — "), std::string::npos);
+  }
+}
+
+TEST(ContractsOn, ExpressionEvaluatesExactlyOnce) {
+  int evaluations = 0;
+  P8_ENSURE((++evaluations, true), "");
+  EXPECT_EQ(evaluations, 1);
+  P8_INVARIANT((++evaluations, true), "");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(ContractsOn, StaticRequireCompiles) {
+  P8_STATIC_REQUIRE(sizeof(int) >= 2, "int is at least 16 bits");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace p8::common

@@ -12,6 +12,7 @@
 
 #include "common/threading.hpp"
 #include "common/units.hpp"
+#include "sim/audit.hpp"
 #include "sim/machine/sweep.hpp"
 #include "ubench/workloads.hpp"
 
@@ -89,6 +90,60 @@ TEST(Sweep, BorrowedPoolIsShared) {
   sim::SweepRunner runner(pool);
   EXPECT_EQ(runner.threads(), 2u);
   EXPECT_EQ(&runner.pool(), &pool);
+}
+
+TEST(Sweep, FailedAuditGatesEveryEntryPoint) {
+  sim::AuditReport failed;
+  failed.add(sim::AuditSeverity::kError, "hierarchy.latency-order",
+             "inverted for the test");
+
+  sim::SweepRunner runner(2);
+  runner.gate_on_audit(failed);
+  auto point = [](std::size_t i) { return static_cast<double>(i); };
+  EXPECT_THROW(runner.run(4, point), std::runtime_error);
+  // map() and run_counted() funnel through the same gate.
+  const std::vector<int> grid = {1, 2, 3};
+  EXPECT_THROW(runner.map(grid, [](int v, std::size_t) { return v; }),
+               std::runtime_error);
+
+  // The thrown message must carry the diagnostics, so the user sees
+  // *why* the sweep refused to start.
+  try {
+    runner.run(1, point);
+    FAIL() << "gated run() did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hierarchy.latency-order"),
+              std::string::npos);
+  }
+}
+
+TEST(Sweep, WaiveAuditClearsTheGate) {
+  sim::AuditReport failed;
+  failed.add(sim::AuditSeverity::kError, "mem.link-ratio", "1:1 for the test");
+  sim::SweepRunner runner(2);
+  runner.gate_on_audit(failed);
+  runner.waive_audit();
+  auto point = [](std::size_t i) { return static_cast<double>(i); };
+  EXPECT_EQ(runner.run(3, point), (std::vector<double>{0.0, 1.0, 2.0}));
+}
+
+TEST(Sweep, CleanAuditReplacesAFailedOne) {
+  sim::AuditReport failed;
+  failed.add(sim::AuditSeverity::kError, "noc.latency", "negative");
+  sim::SweepRunner runner(2);
+  runner.gate_on_audit(failed);
+  runner.gate_on_audit(sim::AuditReport{});  // re-audit came back clean
+  auto point = [](std::size_t i) { return static_cast<double>(i); };
+  EXPECT_NO_THROW(runner.run(2, point));
+}
+
+TEST(Sweep, WarningOnlyAuditDoesNotGate) {
+  sim::AuditReport warnings;
+  warnings.add(sim::AuditSeverity::kWarning, "system.clock", "10 GHz");
+  sim::SweepRunner runner(2);
+  runner.gate_on_audit(warnings);
+  auto point = [](std::size_t i) { return static_cast<double>(i); };
+  EXPECT_NO_THROW(runner.run(2, point));
 }
 
 TEST(ThreadPool, ParallelForPropagatesExceptions) {

@@ -13,8 +13,10 @@
 #include "sim/machine/traffic_sim.hpp"
 #include "sim/mem/bandwidth.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
   bench::print_header("Validation",
                       "event-driven simulation vs analytic model vs paper");
 

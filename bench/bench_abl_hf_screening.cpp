@@ -16,10 +16,7 @@ int main(int argc, char** argv) {
   const int carbons = static_cast<int>(args.get_int("carbons", 6, ""));
   const int threads = static_cast<int>(args.get_int(
       "threads", static_cast<int>(common::default_thread_count()), ""));
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header("Ablation", "Schwarz screening tolerance sweep");
 

@@ -7,8 +7,10 @@
 #include "common/table.hpp"
 #include "sim/core/coresim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
   bench::print_header("Ablation",
                       "128-register VSX file vs unlimited (Fig. 5, 12 FMAs)");
 

@@ -10,8 +10,10 @@
 #include "common/table.hpp"
 #include "sim/noc/noc.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
   bench::print_header("Ablation",
                       "single-route vs multipath inter-group routing");
 

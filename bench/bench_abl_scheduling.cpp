@@ -19,10 +19,7 @@ int main(int argc, char** argv) {
   common::ArgParser args(argc, argv);
   const int scale = static_cast<int>(args.get_int("scale", 13, ""));
   const int workers = static_cast<int>(args.get_int("workers", 8, ""));
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header(
       "Ablation", "static vs dynamic scheduling of the Jaccard SpGEMM");

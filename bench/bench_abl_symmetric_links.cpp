@@ -9,8 +9,10 @@
 #include "common/table.hpp"
 #include "sim/mem/bandwidth.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
   bench::print_header(
       "Ablation", "asymmetric (2 read + 1 write) vs symmetric Centaur links");
 

@@ -12,8 +12,10 @@
 #include "sim/cache/hierarchy.hpp"
 #include "sim/mem/bandwidth.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
   bench::print_header(
       "Ablation", "STREAM kernels through the cache model: link-level R:W");
 

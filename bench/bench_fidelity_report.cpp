@@ -78,10 +78,7 @@ int main(int argc, char** argv) {
       "perturb", 1.0, "scale read_link_eff (gate self-test hook)");
   const bool no_audit = bench::no_audit_arg(args);
   const std::string counters_path = bench::counters_path_arg(args);
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header("Fidelity report",
                       "all modelled paper quantities in one table");

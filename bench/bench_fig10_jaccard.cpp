@@ -23,10 +23,7 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(args.get_int(
       "threads", static_cast<int>(common::default_thread_count()),
       "worker threads (paper: one per core)"));
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header("Figure 10",
                       "all-pairs Jaccard similarity on R-MAT graphs");

@@ -18,15 +18,15 @@ int main(int argc, char** argv) {
   const double size_factor =
       args.get_double("size-factor", 1.0, "matrix dimension scale");
   const bool no_audit = bench::no_audit_arg(args);
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  const std::string machine_sel = bench::machine_arg(args);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header("Figure 11 (model-predicted)",
                       "E870 CSR SpMV prediction per suite matrix");
 
-  const sim::Machine machine = sim::Machine::e870();
+  const auto machine_spec = bench::load_machine(machine_sel);
+  if (!machine_spec) return 2;
+  const sim::Machine machine = machine_spec->machine();
   const auto suite = graph::figure11_suite(size_factor);
 
   // Each suite matrix is one independent cache-replay sweep point.

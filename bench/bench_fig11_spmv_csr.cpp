@@ -19,10 +19,7 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps", 5, ""));
   const int threads = static_cast<int>(args.get_int(
       "threads", static_cast<int>(common::default_thread_count()), ""));
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header("Figure 11",
                       "CSR SpMV on the UF-style suite (synthetic stand-ins)");

@@ -1,5 +1,7 @@
 // Regenerates Figure 1: the E870 block diagram, as a link audit plus
-// an ASCII rendering of the two four-chip groups.
+// an ASCII rendering of the two four-chip groups (drawn only for
+// machines with the E870's 2x4 shape; other --machine selections get
+// the link audit alone).
 #include <cstdio>
 
 #include "arch/spec.hpp"
@@ -7,21 +9,32 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
-  bench::print_header("Figure 1", "high-level block diagram of the E870");
+  common::ArgParser args(argc, argv);
+  const std::string machine_sel = bench::machine_arg(args);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
-  const arch::SystemSpec spec = arch::e870();
+  const auto machine_spec = bench::load_machine(machine_sel);
+  if (!machine_spec) return 2;
+  const arch::SystemSpec& spec = machine_spec->system;
+
+  bench::print_header("Figure 1", "high-level block diagram of the E870");
+  if (!(spec == arch::e870())) std::printf("Machine: %s\n\n", spec.name.c_str());
+
   const arch::Topology topo = arch::Topology::from_spec(spec);
 
+  if (spec.total_chips() == 8 && spec.chips_per_group == 4)
+    std::printf(
+        "  Group 0                     Group 1\n"
+        "  CP0 === CP1                 CP4 === CP5\n"
+        "   |  \\ /  |      A-bus        |  \\ /  |\n"
+        "   |   X   |    (%d links      |   X   |\n"
+        "   |  / \\  |      per pair)    |  / \\  |\n"
+        "  CP2 === CP3                 CP6 === CP7\n"
+        "   CPx --- CP(x+4) pairs cross the midplane\n\n",
+        spec.abus_links_per_pair);
   std::printf(
-      "  Group 0                     Group 1\n"
-      "  CP0 === CP1                 CP4 === CP5\n"
-      "   |  \\ /  |      A-bus        |  \\ /  |\n"
-      "   |   X   |    (3 links      |   X   |\n"
-      "   |  / \\  |      per pair)    |  / \\  |\n"
-      "  CP2 === CP3                 CP6 === CP7\n"
-      "   CPx --- CP(x+4) pairs cross the midplane\n\n"
       "  Per chip: %d cores, %d Centaur chips (%.0f GB/s read + %.0f GB/s\n"
       "  write each), X-bus %.1f GB/s/dir, A-bus bundle %.1f GB/s/dir\n\n",
       spec.cores_per_chip, spec.centaurs_per_chip,
@@ -30,10 +43,15 @@ int main() {
       spec.abus_gbs * spec.abus_links_per_pair);
 
   common::TextTable t({"Link", "Kind", "GB/s per direction", "Latency (ns)"});
+  int xbus = 0;
+  int abus = 0;
   for (const auto& link : topo.links()) {
+    (link.kind == arch::LinkKind::kXBus ? xbus : abus) += 1;
     t.add_row({"CP" + std::to_string(link.chip_a) + " <-> CP" +
                    std::to_string(link.chip_b),
-               link.kind == arch::LinkKind::kXBus ? "X-bus" : "A-bus x3",
+               link.kind == arch::LinkKind::kXBus
+                   ? "X-bus"
+                   : "A-bus x" + std::to_string(spec.abus_links_per_pair),
                common::fmt_num(link.gbs_per_direction, 1),
                common::fmt_num(link.latency_ns, 0)});
   }
@@ -41,6 +59,6 @@ int main() {
 
   std::printf("Audit: %d X-bus links (paper: 3 per chip, full crossbar per "
               "group), %d A-bus bundles (paper: 3 links per partner pair).\n",
-              12, 4);
+              xbus, abus);
   return 0;
 }

@@ -23,15 +23,15 @@ int main(int argc, char** argv) {
       args.get_int("max-mb", 512, "largest working set in MiB"));
   const std::string counters_path = bench::counters_path_arg(args);
   const bool no_audit = bench::no_audit_arg(args);
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  const std::string machine_sel = bench::machine_arg(args);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header("Figure 2",
                       "memory read latency vs working set (prefetch off)");
 
-  const sim::Machine machine = sim::Machine::e870();
+  const auto machine_spec = bench::load_machine(machine_sel);
+  if (!machine_spec) return 2;
+  const sim::Machine machine = machine_spec->machine();
 
   std::vector<std::uint64_t> sizes;
   for (std::uint64_t ws = common::kib(16); ws <= common::mib(max_mb);) {

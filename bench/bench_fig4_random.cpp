@@ -13,15 +13,15 @@ int main(int argc, char** argv) {
   common::ArgParser args(argc, argv);
   const std::string counters_path = bench::counters_path_arg(args);
   const bool no_audit = bench::no_audit_arg(args);
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  const std::string machine_sel = bench::machine_arg(args);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header(
       "Figure 4", "random-access bandwidth vs SMT x lists/thread (64 cores)");
 
-  const sim::Machine machine = sim::Machine::e870();
+  const auto machine_spec = bench::load_machine(machine_sel);
+  if (!machine_spec) return 2;
+  const sim::Machine machine = machine_spec->machine();
   if (!bench::gate_model(machine, no_audit)) return 2;
   // Counter-attachable copy; solves identically to machine.memory().
   sim::CounterRegistry counters;

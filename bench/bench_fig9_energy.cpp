@@ -9,12 +9,19 @@
 #include "common/table.hpp"
 #include "roofline/energy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  const std::string machine_sel = bench::machine_arg(args);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
+
+  const auto machine_spec = bench::load_machine(machine_sel);
+  if (!machine_spec) return 2;
+
   bench::print_header("Figure 9 (energy companion)",
                       "energy roofline of the E870 (paper ref. [9])");
 
-  const auto perf = roofline::RooflineModel::from_spec(arch::e870());
+  const auto perf = roofline::RooflineModel::from_spec(machine_spec->system);
   const roofline::EnergyRoofline energy(perf);
 
   std::printf(

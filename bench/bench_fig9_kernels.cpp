@@ -24,10 +24,7 @@ int main(int argc, char** argv) {
   common::ArgParser args(argc, argv);
   const int threads = static_cast<int>(args.get_int(
       "threads", static_cast<int>(common::default_thread_count()), ""));
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header("Figure 9 (measured kernels)",
                       "native kernel runs placed on the E870 roofline");

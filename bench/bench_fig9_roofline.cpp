@@ -8,11 +8,18 @@
 #include "common/table.hpp"
 #include "roofline/roofline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  const std::string machine_sel = bench::machine_arg(args);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
+
+  const auto machine_spec = bench::load_machine(machine_sel);
+  if (!machine_spec) return 2;
+
   bench::print_header("Figure 9", "roofline for the IBM Power System E870");
 
-  const auto model = roofline::RooflineModel::from_spec(arch::e870());
+  const auto model = roofline::RooflineModel::from_spec(machine_spec->system);
 
   std::printf("Compute roof: %.0f GFLOP/s   Memory roof (2:1): %.0f GB/s\n"
               "Write-only roof: %.0f GB/s   Balance point: %.2f FLOP/byte "

@@ -21,10 +21,7 @@ int main(int argc, char** argv) {
   common::ArgParser args(argc, argv);
   const bool perturb = args.get_flag(
       "perturb", "audit a deliberately broken config (gate self-test hook)");
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header("Model audit",
                       "static analysis of the machine configuration");

@@ -155,14 +155,14 @@ int main(int argc, char** argv) {
   const std::string json_path = args.get_string(
       "json", "BENCH_perf_simcore.json", "machine-readable output file");
   const bool no_audit = bench::no_audit_arg(args);
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  const std::string machine_sel = bench::machine_arg(args);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header("Perf", "simulator hot-path and sweep-engine timing");
 
-  const sim::Machine machine = sim::Machine::e870();
+  const auto machine_spec = bench::load_machine(machine_sel);
+  if (!machine_spec) return 2;
+  const sim::Machine machine = machine_spec->machine();
   if (!bench::gate_model(machine, no_audit)) return 2;
 
   const HotPathResult seq = seq_scan(machine, accesses, reps);

@@ -5,8 +5,10 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
+  common::ArgParser args(argc, argv);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
   bench::print_header("Table I", "POWER7 and POWER8 at a glance");
 
   const arch::ProcessorSpec p7 = arch::power7();

@@ -6,11 +6,17 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p8;
-  bench::print_header("Table II", "characteristics of the E870 under test");
+  common::ArgParser args(argc, argv);
+  const std::string machine_sel = bench::machine_arg(args);
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
-  const arch::SystemSpec s = arch::e870();
+  const auto machine_spec = bench::load_machine(machine_sel);
+  if (!machine_spec) return 2;
+  const arch::SystemSpec& s = machine_spec->system;
+
+  bench::print_header("Table II", "characteristics of the E870 under test");
   common::TextTable t({"Characteristic", "Value"});
   t.add_row({"System", s.name});
   t.add_row({"Sockets (processor chips)", std::to_string(s.sockets)});

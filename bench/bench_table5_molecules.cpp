@@ -21,10 +21,7 @@ int main(int argc, char** argv) {
       args.get_double("screen-tol", 1e-10, "Schwarz screening tolerance");
   const int threads = static_cast<int>(args.get_int(
       "threads", static_cast<int>(common::default_thread_count()), ""));
-  if (args.finish()) {
-    std::printf("%s", args.help().c_str());
-    return 0;
-  }
+  if (auto exit_code = bench::finish_args(args)) return *exit_code;
 
   bench::print_header("Table V", "test molecular systems (host-scaled)");
 

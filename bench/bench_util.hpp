@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <exception>
+#include <optional>
 #include <string>
 
 #include "common/cli.hpp"
@@ -12,6 +14,7 @@
 #include "sim/audit.hpp"
 #include "sim/counters.hpp"
 #include "sim/machine/machine.hpp"
+#include "sim/machine/spec.hpp"
 #include "sim/machine/sweep.hpp"
 
 namespace p8::bench {
@@ -59,6 +62,57 @@ inline bool write_counters(const sim::CounterRegistry& registry,
   std::fputs(body.c_str(), f);
   std::fclose(f);
   return true;
+}
+
+/// Declares the shared `--machine` flag: which machine to simulate — a
+/// registry preset name or a path to a MachineSpec .json file
+/// (docs/MODEL.md).  `def` is the bench's calibrated default.
+inline std::string machine_arg(common::ArgParser& args,
+                               const std::string& def = "e870") {
+  std::string presets;
+  for (const std::string& name : sim::machine_names()) {
+    if (!presets.empty()) presets += "|";
+    presets += name;
+  }
+  return args.get_string(
+      "machine", def,
+      "machine to simulate: a preset (" + presets + ") or a spec .json path");
+}
+
+/// Resolves a `--machine` selector.  On an unknown preset, unreadable
+/// file or malformed JSON, prints the error to stderr and returns
+/// nullopt — callers turn that into exit code 2.
+inline std::optional<sim::MachineSpec> load_machine(
+    const std::string& selector) {
+  try {
+    return sim::load_machine_spec(selector);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return std::nullopt;
+  }
+}
+
+/// Call once every option is declared, instead of args.finish().
+/// Handles `--help` (prints usage, exit 0) and unknown options (prints
+/// each with a did-you-mean hint, exit 2) without throwing; returns
+/// nullopt when the bench should proceed.  Usage:
+///
+///   if (auto exit_code = bench::finish_args(args)) return *exit_code;
+inline std::optional<int> finish_args(const common::ArgParser& args) {
+  if (args.help_requested()) {
+    std::fputs(args.help().c_str(), stdout);
+    return 0;
+  }
+  const std::vector<std::string> unknown = args.unknown_args();
+  if (unknown.empty()) return std::nullopt;
+  for (const std::string& name : unknown) {
+    std::fprintf(stderr, "error: unknown option --%s\n", name.c_str());
+    const std::string hint = args.suggest(name);
+    if (!hint.empty())
+      std::fprintf(stderr, "       (did you mean --%s?)\n", hint.c_str());
+  }
+  std::fputs(args.help().c_str(), stderr);
+  return 2;
 }
 
 /// Declares the shared `--no-audit` flag: waive a failed ModelAudit and

@@ -7,6 +7,7 @@
 //   machine_explorer --what=chase     --ws-kb=4096 --page-kb=64 --dscr=1
 //   machine_explorer --what=fma       --threads=6 --fmas=12
 //   machine_explorer --what=noc       (the whole Table IV)
+//   machine_explorer --what=spec      (dump the MachineSpec JSON)
 //
 // Every query prints what it asked the model and the answer with the
 // matching paper context.
@@ -15,13 +16,14 @@
 
 #include "common/cli.hpp"
 #include "sim/machine/machine.hpp"
+#include "sim/machine/spec.hpp"
 #include "ubench/workloads.hpp"
 
 int main(int argc, char** argv) {
   using namespace p8;
   common::ArgParser args(argc, argv);
   const std::string what = args.get_string(
-      "what", "summary", "latency|stream|random|chase|fma|noc|summary");
+      "what", "summary", "latency|stream|random|chase|fma|noc|spec|summary");
   const int from = static_cast<int>(args.get_int("from", 0, "consumer chip"));
   const int to = static_cast<int>(args.get_int("to", 4, "memory home chip"));
   const int chips = static_cast<int>(args.get_int("chips", 8, ""));
@@ -35,12 +37,23 @@ int main(int argc, char** argv) {
   const int dscr = static_cast<int>(args.get_int("dscr", 1, "0..7"));
   const int threads = static_cast<int>(args.get_int("threads", 1, ""));
   const int fmas = static_cast<int>(args.get_int("fmas", 12, ""));
+  const std::string machine_sel = args.get_string(
+      "machine", "e870", "registry preset name or spec .json path");
   if (args.finish()) {
     std::printf("%s", args.help().c_str());
     return 0;
   }
 
-  const sim::Machine machine = sim::Machine::e870();
+  const sim::MachineSpec machine_spec = sim::load_machine_spec(machine_sel);
+
+  if (what == "spec") {
+    // Dump the full spec JSON — the starting point for a custom
+    // machine file (edit, then pass back via --machine=file.json).
+    std::fputs(machine_spec.to_json().c_str(), stdout);
+    return 0;
+  }
+
+  const sim::Machine machine = machine_spec.machine();
 
   if (what == "summary") {
     std::printf("%s: %d cores, %.0f GFLOP/s, %.0f GB/s (2:1), balance %.2f\n",

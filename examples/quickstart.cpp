@@ -11,12 +11,13 @@
 #include "graph/rmat.hpp"
 #include "jaccard/jaccard.hpp"
 #include "sim/machine/machine.hpp"
+#include "sim/machine/spec.hpp"
 
 int main() {
   using namespace p8;
 
   // --- 1. The machine model -------------------------------------------------
-  const sim::Machine machine = sim::Machine::e870();
+  const sim::Machine machine = sim::machine_spec("e870").machine();
   std::printf("Machine: %s\n", machine.spec().name.c_str());
   std::printf("  %d chips x %d cores x SMT%d @ %.2f GHz -> %.0f GFLOP/s\n",
               machine.spec().total_chips(), machine.spec().cores_per_chip,

@@ -45,6 +45,12 @@ EOF
 # intact.  Non-zero exit on any new drift.
 ./build/bench/bench_fidelity_report --gate
 
+# Scaling matrix: the paper's structural invariants (plateau ordering,
+# R:W=2:1 peak among the Table III mixes, inter > intra-group latency)
+# must hold on every registry preset, not just the calibrated e870.
+./build/bench/bench_scaling_matrix --machines=all \
+  --json build/BENCH_scaling_matrix.json
+
 # Baseline drift: a fresh --json run must match the checked-in
 # BENCH_fidelity.json bit for bit.
 ./build/bench/bench_fidelity_report --json build/BENCH_fidelity.json
@@ -61,9 +67,13 @@ cmake --build build-asan -j --target sim_counters_test sweep_test
 # Contract pass: a contracts-forced Debug build runs the parallel
 # sweep, audit and contract-macro tests with every P8_ENSURE /
 # P8_INVARIANT active — proves the hot-path invariants hold on real
-# sweep workloads, not just that they compile.
+# sweep workloads, not just that they compile.  The property suite runs
+# here too: "audit-clean implies simulates without tripping a contract"
+# only means something with the contracts armed.
 cmake -B build-contracts -S . -DCMAKE_BUILD_TYPE=Debug -DP8_CONTRACTS=ON
-cmake --build build-contracts -j --target sweep_test contracts_test sim_audit_test
+cmake --build build-contracts -j --target sweep_test contracts_test \
+  sim_audit_test sim_property_test
 ./build-contracts/tests/sweep_test
 ./build-contracts/tests/contracts_test
 ./build-contracts/tests/sim_audit_test
+./build-contracts/tests/sim_property_test

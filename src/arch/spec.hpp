@@ -39,6 +39,8 @@ struct CoreSpec {
   constexpr int dp_flops_per_cycle() const {
     return vsx_pipes * vsx_dp_lanes * 2;
   }
+
+  friend bool operator==(const CoreSpec&, const CoreSpec&) = default;
 };
 
 /// Processor-level parameters.
@@ -53,6 +55,8 @@ struct ProcessorSpec {
   constexpr std::uint64_t l3_total_bytes(int cores) const {
     return core.l3_bytes * static_cast<std::uint64_t>(cores);
   }
+
+  friend bool operator==(const ProcessorSpec&, const ProcessorSpec&) = default;
 };
 
 /// The Centaur memory-buffer chip (paper §II-A): 16 MB eDRAM L4 plus
@@ -68,6 +72,8 @@ struct CentaurSpec {
     // At a 2:1 read:write byte ratio both link directions saturate.
     return read_link_gbs + write_link_gbs;
   }
+
+  friend bool operator==(const CentaurSpec&, const CentaurSpec&) = default;
 };
 
 /// Factory for the POWER7 column of Table I.
@@ -131,6 +137,8 @@ struct SystemSpec {
   }
   /// Machine balance: peak FLOP/s over peak byte/s (paper §IV).
   double balance() const { return peak_dp_gflops() / peak_mem_gbs(); }
+
+  friend bool operator==(const SystemSpec&, const SystemSpec&) = default;
 };
 
 /// The system under test: IBM Power System E870, 8 sockets, one

@@ -16,6 +16,10 @@ double xbus_latency_ns(int pos_a, int pos_b) {
   static constexpr double kBase = 28.0;
   static constexpr double kLayoutExtra[4] = {0.0, 0.0, 2.0, 10.0};
   const int dist = std::abs(pos_a - pos_b);
+  // Positions beyond the E870's four-chip group (larger configured
+  // groups, e.g. a 16-socket system as two groups of eight) extend the
+  // measured layout penalty linearly with in-group distance.
+  if (dist > 3) return kBase + kLayoutExtra[3] + 6.0 * (dist - 3);
   return kBase + kLayoutExtra[dist];
 }
 

@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <sstream>
@@ -106,6 +107,52 @@ bool ArgParser::finish() const {
       throw std::invalid_argument("unknown option --" + name);
   }
   return given_.count("help") != 0;
+}
+
+std::vector<std::string> ArgParser::unknown_args() const {
+  // given_ is a std::map, so the result is sorted by name and
+  // independent of the order the options appeared on the command line.
+  std::vector<std::string> out;
+  for (const auto& [name, value] : given_) {
+    (void)value;
+    if (name == "help") continue;
+    if (!consumed_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+namespace {
+
+/// Classic two-row Levenshtein distance, for misspelling suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min(std::min(row[j] + 1, row[j - 1] + 1), sub);
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string ArgParser::suggest(const std::string& name) const {
+  std::string best;
+  std::size_t best_distance = 3;  // only near-misses are worth hinting
+  for (const auto& d : decls_) {
+    const std::size_t distance = edit_distance(name, d.name);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = d.name;
+    }
+  }
+  return best;
 }
 
 std::string ArgParser::help() const {

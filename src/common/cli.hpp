@@ -37,6 +37,21 @@ class ArgParser {
   /// `--help` was requested (caller should print `help()` and exit).
   bool finish() const;
 
+  /// The given options no declaration consumed — i.e. misspelled or
+  /// unsupported flags — in command-line-independent (sorted) order,
+  /// `--help` excluded.  Call after all options are declared.  This is
+  /// the non-throwing sibling of finish(): bench main()s use it to
+  /// print a diagnostic and exit 2 instead of dying on an uncaught
+  /// exception.
+  std::vector<std::string> unknown_args() const;
+
+  /// True when the command line carried `--help`.
+  bool help_requested() const { return given_.count("help") != 0; }
+
+  /// The declared option name closest to `name` (edit distance <= 2),
+  /// or "" — the "did you mean --machine?" hint for a misspelled flag.
+  std::string suggest(const std::string& name) const;
+
   /// Usage text assembled from the declared options.
   std::string help() const;
 

@@ -1,0 +1,333 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace p8::common {
+
+namespace {
+
+/// Recursive-descent parser over the document text.  Positions are
+/// byte offsets; errors convert to line/column at throw time.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after the document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::invalid_argument("json: line " + std::to_string(line) +
+                                ", column " + std::to_string(col) + ": " +
+                                what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        Json v;
+        v.kind = Json::Kind::kBool;
+        if (consume_literal("true"))
+          v.boolean = true;
+        else if (consume_literal("false"))
+          v.boolean = false;
+        else
+          fail("unrecognized literal");
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("unrecognized literal");
+        return Json{};
+      }
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    Json v;
+    v.kind = Json::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected a quoted member name");
+      std::string key = parse_string();
+      for (const auto& [existing, ignored] : v.object) {
+        (void)ignored;
+        if (existing == key) fail("duplicate member \"" + key + "\"");
+      }
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value(depth + 1));
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    Json v;
+    v.kind = Json::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value(depth + 1));
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("unrecognized escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9')
+        code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("non-hex digit in \\u escape");
+    }
+    // Basic-multilingual-plane code point to UTF-8 (surrogate pairs
+    // are out of scope for configuration files).
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t first = pos_;
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+      return pos_ > first;
+    };
+    if (!digits()) fail("expected a number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("expected digits after the decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!digits()) fail("expected digits in the exponent");
+    }
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, v.number);
+    if (ec != std::errc{} || end != last) {
+      pos_ = start;
+      fail("number out of range");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const char* kind_name(Json::Kind kind) {
+  switch (kind) {
+    case Json::Kind::kNull: return "null";
+    case Json::Kind::kBool: return "a boolean";
+    case Json::Kind::kNumber: return "a number";
+    case Json::Kind::kString: return "a string";
+    case Json::Kind::kArray: return "an array";
+    case Json::Kind::kObject: return "an object";
+  }
+  return "a value";
+}
+
+[[noreturn]] void type_error(const std::string& what, const char* wanted,
+                             Json::Kind got) {
+  throw std::invalid_argument("json: " + what + " must be " + wanted +
+                              ", got " + kind_name(got));
+}
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).run(); }
+
+const Json* Json::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+double Json::as_number(const std::string& what) const {
+  if (kind != Kind::kNumber) type_error(what, "a number", kind);
+  return number;
+}
+
+bool Json::as_bool(const std::string& what) const {
+  if (kind != Kind::kBool) type_error(what, "a boolean", kind);
+  return boolean;
+}
+
+const std::string& Json::as_string(const std::string& what) const {
+  if (kind != Kind::kString) type_error(what, "a string", kind);
+  return string;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "0";  // unreachable for finite doubles
+  return std::string(buf, end);
+}
+
+}  // namespace p8::common

@@ -1,0 +1,63 @@
+// Minimal JSON support for configuration files.
+//
+// The machine registry stores `sim::MachineSpec`s as JSON (round-trip
+// save -> load -> save is byte-identical), and a bench can be pointed
+// at any such file via --machine=<path.json>.  This module is the
+// self-contained reader/writer behind that: a strict recursive-descent
+// parser into a small DOM, plus deterministic formatting helpers the
+// writers use so equal values always serialize to equal bytes.
+//
+// Scope is deliberately narrow — configuration files, not an
+// interchange library: UTF-8 text, objects/arrays/strings/numbers/
+// bools/null, \uXXXX escapes, a nesting-depth bound, and errors that
+// carry line/column so a hand-edited spec fails with a useful message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace p8::common {
+
+/// One parsed JSON value.  Objects keep their members in document
+/// order (round-tripping must not reshuffle a hand-written file).
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  /// Parses `text` as one JSON document; throws std::invalid_argument
+  /// with "json: line L, column C: <problem>" on malformed input,
+  /// including trailing garbage after the document.
+  static Json parse(const std::string& text);
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  /// Member of an object, or nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+
+  /// Typed accessors; `what` names the field in the error message.
+  double as_number(const std::string& what) const;
+  bool as_bool(const std::string& what) const;
+  const std::string& as_string(const std::string& what) const;
+};
+
+/// `s` as a quoted JSON string, with ", \ and control characters
+/// escaped.
+std::string json_quote(const std::string& s);
+
+/// Shortest decimal form of `v` that parses back to exactly `v`
+/// (std::to_chars), so writers are deterministic and round-trip exact.
+std::string json_number(double v);
+
+}  // namespace p8::common

@@ -1,5 +1,6 @@
 #include "sim/audit.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -271,6 +272,23 @@ AuditReport ModelAudit::system(const arch::SystemSpec& spec) {
                fmt("%d cores per chip exceeds the %s's %d-core maximum",
                    spec.cores_per_chip, spec.processor.name.c_str(),
                    spec.processor.max_cores));
+  // The interconnect model builds whole groups and fans A-links only
+  // between two of them (arch::Topology): a chip count that is not a
+  // whole number of groups, or a shape needing three or more groups,
+  // would throw at Machine construction — diagnose it here instead so
+  // the failure is a named audit rule, not an exception.
+  if (spec.total_chips() >= 1 && spec.chips_per_group >= 1) {
+    const int group = std::min(spec.chips_per_group, spec.total_chips());
+    if (spec.total_chips() % group != 0)
+      report.add(AuditSeverity::kError, "system.group-shape",
+                 fmt("%d chips is not a whole number of %d-chip groups",
+                     spec.total_chips(), group));
+    else if (spec.total_chips() / group > 2)
+      report.add(AuditSeverity::kError, "system.group-shape",
+                 fmt("%d chips in %d-chip groups needs %d groups; the "
+                     "interconnect model supports at most two",
+                     spec.total_chips(), group, spec.total_chips() / group));
+  }
   const int smt = spec.processor.core.smt_threads;
   if (smt != 1 && smt != 2 && smt != 4 && smt != 8)
     report.add(AuditSeverity::kError, "system.smt",

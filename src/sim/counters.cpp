@@ -2,7 +2,28 @@
 
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace p8::sim {
+
+namespace {
+
+/// RFC 4180 field quoting: a name containing a comma, quote or line
+/// break is wrapped in quotes with inner quotes doubled; ordinary
+/// counter names pass through untouched, keeping existing dumps
+/// byte-identical.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
 
 std::uint64_t* CounterRegistry::slot(const std::string& name) {
   return &counters_[name];
@@ -44,10 +65,12 @@ void CounterRegistry::merge(const CounterRegistry& other) {
 
 std::string CounterRegistry::to_json(const std::string& bench) const {
   std::ostringstream out;
-  out << "{\n  \"bench\": \"" << bench << "\",\n  \"counters\": {";
+  out << "{\n  \"bench\": " << common::json_quote(bench)
+      << ",\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    out << (first ? "\n" : ",\n") << "    " << common::json_quote(name)
+        << ": " << value;
     first = false;
   }
   out << (first ? "}" : "\n  }") << "\n}\n";
@@ -58,7 +81,7 @@ std::string CounterRegistry::to_csv() const {
   std::ostringstream out;
   out << "counter,value\n";
   for (const auto& [name, value] : counters_)
-    out << name << "," << value << "\n";
+    out << csv_field(name) << "," << value << "\n";
   return out.str();
 }
 

@@ -13,8 +13,6 @@ Machine::Machine(const arch::SystemSpec& spec,
       noc_(topology_, noc_params),
       audit_(ModelAudit::machine(spec, mem_params, noc_params)) {}
 
-Machine Machine::e870() { return Machine(arch::e870()); }
-
 CoreSim Machine::core_sim(const CoreSimConfig& config) const {
   CoreSimConfig c = config;
   c.core = spec_.processor.core;

@@ -38,9 +38,6 @@ class Machine {
                    const MemBandwidthParams& mem_params = {},
                    const NocParams& noc_params = {});
 
-  /// The system under test in the paper.
-  static Machine e870();
-
   const arch::SystemSpec& spec() const { return spec_; }
   const arch::Topology& topology() const { return topology_; }
   const MemoryBandwidthModel& memory() const { return memory_; }

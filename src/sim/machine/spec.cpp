@@ -1,0 +1,362 @@
+#include "sim/machine/spec.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/cli.hpp"
+#include "common/json.hpp"
+
+namespace p8::sim {
+
+namespace {
+
+// ---- schema ----------------------------------------------------------------
+//
+// One visit() per struct names every serialized member exactly once;
+// the writer and the reader are two visitors over the same schema, so
+// they cannot drift apart.  Member order here IS the on-disk order.
+
+template <typename V>
+void visit_core(V& v, arch::CoreSpec& c) {
+  v.field("smt_threads", c.smt_threads);
+  v.field("l1i_bytes", c.l1i_bytes);
+  v.field("l1d_bytes", c.l1d_bytes);
+  v.field("l2_bytes", c.l2_bytes);
+  v.field("l3_bytes", c.l3_bytes);
+  v.field("issue_width", c.issue_width);
+  v.field("commit_width", c.commit_width);
+  v.field("loads_per_cycle", c.loads_per_cycle);
+  v.field("stores_per_cycle", c.stores_per_cycle);
+  v.field("vsx_pipes", c.vsx_pipes);
+  v.field("vsx_latency_cycles", c.vsx_latency_cycles);
+  v.field("vsx_dp_lanes", c.vsx_dp_lanes);
+  v.field("arch_vsx_registers", c.arch_vsx_registers);
+  v.field("rename_vsx_registers", c.rename_vsx_registers);
+  v.field("load_miss_queue", c.load_miss_queue);
+}
+
+template <typename V>
+void visit_processor(V& v, arch::ProcessorSpec& p) {
+  v.field("name", p.name);
+  v.field("max_cores", p.max_cores);
+  v.field("cache_line_bytes", p.cache_line_bytes);
+  v.field("max_l4_bytes", p.max_l4_bytes);
+  v.object("core", p.core, [](V& vv, arch::CoreSpec& c) { visit_core(vv, c); });
+}
+
+template <typename V>
+void visit_centaur(V& v, arch::CentaurSpec& c) {
+  v.field("l4_bytes", c.l4_bytes);
+  v.field("read_link_gbs", c.read_link_gbs);
+  v.field("write_link_gbs", c.write_link_gbs);
+  v.field("max_dram_bytes", c.max_dram_bytes);
+}
+
+/// The SystemSpec scalars (its `processor`/`centaur` members serialize
+/// as sibling top-level objects, and `name` as the top-level "name").
+template <typename V>
+void visit_system_shape(V& v, arch::SystemSpec& s) {
+  v.field("sockets", s.sockets);
+  v.field("chips_per_socket", s.chips_per_socket);
+  v.field("cores_per_chip", s.cores_per_chip);
+  v.field("centaurs_per_chip", s.centaurs_per_chip);
+  v.field("clock_ghz", s.clock_ghz);
+  v.field("xbus_gbs", s.xbus_gbs);
+  v.field("abus_gbs", s.abus_gbs);
+  v.field("abus_links_per_pair", s.abus_links_per_pair);
+  v.field("chips_per_group", s.chips_per_group);
+}
+
+template <typename V>
+void visit_mem(V& v, MemBandwidthParams& m) {
+  v.field("read_link_eff", m.read_link_eff);
+  v.field("write_link_eff", m.write_link_eff);
+  v.field("turnaround_coeff", m.turnaround_coeff);
+  v.field("chip_fabric_gbs", m.chip_fabric_gbs);
+  v.field("stream_latency_ns", m.stream_latency_ns);
+  v.field("random_latency_ns", m.random_latency_ns);
+  v.field("core_stream_mlp", m.core_stream_mlp);
+  v.field("core_random_mlp", m.core_random_mlp);
+  v.field("random_row_cap_gbs", m.random_row_cap_gbs);
+}
+
+template <typename V>
+void visit_noc(V& v, NocParams& n) {
+  v.field("link_protocol_eff", n.link_protocol_eff);
+  v.field("request_overhead", n.request_overhead);
+  v.field("hop_amplification", n.hop_amplification);
+  v.field("ingest_cap_gbs", n.ingest_cap_gbs);
+  v.field("max_routes_inter_group", n.max_routes_inter_group);
+  v.field("local_dram_latency_ns", n.local_dram_latency_ns);
+}
+
+template <typename V>
+void visit_spec(V& v, MachineSpec& s) {
+  v.field("name", s.system.name);
+  v.object("processor", s.system.processor,
+           [](V& vv, arch::ProcessorSpec& p) { visit_processor(vv, p); });
+  v.object("centaur", s.system.centaur,
+           [](V& vv, arch::CentaurSpec& c) { visit_centaur(vv, c); });
+  v.object("system", s.system,
+           [](V& vv, arch::SystemSpec& sys) { visit_system_shape(vv, sys); });
+  v.object("mem", s.mem,
+           [](V& vv, MemBandwidthParams& m) { visit_mem(vv, m); });
+  v.object("noc", s.noc, [](V& vv, NocParams& n) { visit_noc(vv, n); });
+}
+
+// ---- writer ----------------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(int indent = 2) : indent_(indent) {}
+
+  void field(const char* name, const std::string& v) {
+    line(name, common::json_quote(v));
+  }
+  void field(const char* name, double v) { line(name, common::json_number(v)); }
+  void field(const char* name, int v) { line(name, std::to_string(v)); }
+  void field(const char* name, std::uint64_t v) {
+    line(name, std::to_string(v));
+  }
+
+  template <typename T, typename Fn>
+  void object(const char* name, T& value, Fn body) {
+    Writer sub(indent_ + 2);
+    body(sub, value);
+    line(name, "{\n" + sub.join() + "\n" + pad(indent_) + "}");
+  }
+
+  /// Members joined with ",\n" (no trailing newline).
+  std::string join() const {
+    std::string out;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      if (i != 0) out += ",\n";
+      out += lines_[i];
+    }
+    return out;
+  }
+
+ private:
+  static std::string pad(int n) {
+    return std::string(static_cast<std::size_t>(n), ' ');
+  }
+  void line(const char* name, std::string rendered) {
+    lines_.push_back(pad(indent_) + common::json_quote(name) + ": " +
+                     std::move(rendered));
+  }
+
+  int indent_;
+  std::vector<std::string> lines_;
+};
+
+// ---- reader ----------------------------------------------------------------
+
+[[noreturn]] void read_fail(const std::string& path, const std::string& what) {
+  throw std::invalid_argument("machine spec: " + path + ": " + what);
+}
+
+class Reader {
+ public:
+  Reader(const common::Json& json, std::string path)
+      : json_(json), path_(std::move(path)) {
+    if (!json_.is_object()) read_fail(path_, "must be a JSON object");
+  }
+
+  void field(const char* name, std::string& v) {
+    if (const common::Json* m = take(name)) v = m->as_string(at(name));
+  }
+  void field(const char* name, double& v) {
+    if (const common::Json* m = take(name)) v = m->as_number(at(name));
+  }
+  void field(const char* name, int& v) {
+    if (const common::Json* m = take(name))
+      v = static_cast<int>(integral(m->as_number(at(name)), name,
+                                    std::numeric_limits<int>::min(),
+                                    std::numeric_limits<int>::max()));
+  }
+  void field(const char* name, std::uint64_t& v) {
+    if (const common::Json* m = take(name))
+      v = static_cast<std::uint64_t>(
+          integral(m->as_number(at(name)), name, 0.0, 0x1p53));
+  }
+
+  template <typename T, typename Fn>
+  void object(const char* name, T& value, Fn body) {
+    if (const common::Json* m = take(name)) {
+      Reader sub(*m, at(name));
+      body(sub, value);
+      sub.check_consumed();
+    }
+  }
+
+  /// Every member of the document must have been claimed by the
+  /// schema: an unclaimed one is a typo, and silently ignoring it
+  /// would simulate the default in its place.
+  void check_consumed() const {
+    for (std::size_t i = 0; i < json_.object.size(); ++i)
+      if (!consumed_[i])
+        read_fail(path_, "unknown member \"" + json_.object[i].first + "\"");
+  }
+
+ private:
+  std::string at(const char* name) const { return path_ + "." + name; }
+
+  double integral(double v, const char* name, double lo, double hi) const {
+    if (std::floor(v) != v || v < lo || v > hi)
+      read_fail(path_, std::string(name) + " must be an integer in [" +
+                           common::json_number(lo) + ", " +
+                           common::json_number(hi) + "], got " +
+                           common::json_number(v));
+    return v;
+  }
+
+  const common::Json* take(const char* name) {
+    consumed_.resize(json_.object.size(), false);
+    for (std::size_t i = 0; i < json_.object.size(); ++i) {
+      if (json_.object[i].first == name) {
+        consumed_[i] = true;
+        return &json_.object[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  const common::Json& json_;
+  std::string path_;
+  std::vector<bool> consumed_;
+};
+
+// ---- presets ---------------------------------------------------------------
+
+MachineSpec preset_e870() {
+  return MachineSpec{arch::e870(), MemBandwidthParams{}, NocParams{}};
+}
+
+/// A 2-socket midrange box in the E850C mold: two 12-core chips in one
+/// group (X-bus only), half the Centaur attach of the E870, and the
+/// lower clock of the high-core-count part.
+MachineSpec preset_e850c() {
+  MachineSpec s = preset_e870();
+  s.system.name = "IBM Power System E850C (2-socket)";
+  s.system.sockets = 2;
+  s.system.cores_per_chip = 12;
+  s.system.centaurs_per_chip = 4;
+  s.system.clock_ghz = 3.65;
+  return s;
+}
+
+/// The 16-socket scale-up of §II ("the largest POWER8 SMP"): 192
+/// cores as two groups of eight 12-core chips at the 12-core part's
+/// 4.02 GHz.  Exercises the model far from the calibrated point — a
+/// wider X-bus crossbar per group and eight A-bus partner bundles.
+MachineSpec preset_e880() {
+  MachineSpec s = preset_e870();
+  s.system.name = "IBM Power System E880 (16-socket)";
+  s.system.sockets = 16;
+  s.system.cores_per_chip = 12;
+  s.system.clock_ghz = 4.02;
+  s.system.chips_per_group = 8;
+  return s;
+}
+
+/// SMT ablation: the E870 with cores capped at four hardware threads —
+/// halves the per-chip concurrency the Fig. 3 thread scaling rides on.
+MachineSpec preset_e870_smt4() {
+  MachineSpec s = preset_e870();
+  s.system.name = "IBM Power System E870 (SMT4 ablation)";
+  s.system.processor.core.smt_threads = 4;
+  return s;
+}
+
+/// Centaur-ratio ablation: the E870 with four Centaurs per chip —
+/// the same 2:1 per-link read:write structure at half the aggregate
+/// memory attach, shifting which mechanism binds in Table III.
+MachineSpec preset_e870_centaur4() {
+  MachineSpec s = preset_e870();
+  s.system.name = "IBM Power System E870 (4-Centaur ablation)";
+  s.system.centaurs_per_chip = 4;
+  return s;
+}
+
+struct Preset {
+  const char* name;
+  MachineSpec (*make)();
+};
+
+constexpr Preset kPresets[] = {
+    {"e870", preset_e870},
+    {"e850c", preset_e850c},
+    {"e880", preset_e880},
+    {"e870-smt4", preset_e870_smt4},
+    {"e870-centaur4", preset_e870_centaur4},
+};
+
+std::string known_names() {
+  std::string out;
+  for (const Preset& p : kPresets) {
+    if (!out.empty()) out += ", ";
+    out += p.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MachineSpec::to_json() const {
+  MachineSpec copy = *this;
+  Writer w;
+  visit_spec(w, copy);
+  return "{\n" + w.join() + "\n}\n";
+}
+
+MachineSpec MachineSpec::from_json(const std::string& text) {
+  const common::Json doc = common::Json::parse(text);
+  MachineSpec spec;
+  Reader r(doc, "spec");
+  visit_spec(r, spec);
+  r.check_consumed();
+  return spec;
+}
+
+std::vector<std::string> machine_names() {
+  std::vector<std::string> out;
+  for (const Preset& p : kPresets) out.push_back(p.name);
+  return out;
+}
+
+bool has_machine_spec(const std::string& name) {
+  for (const Preset& p : kPresets)
+    if (name == p.name) return true;
+  return false;
+}
+
+MachineSpec machine_spec(const std::string& name) {
+  for (const Preset& p : kPresets)
+    if (name == p.name) return p.make();
+  throw std::invalid_argument("unknown machine \"" + name +
+                              "\" (known: " + known_names() +
+                              ", or a path to a spec .json)");
+}
+
+MachineSpec load_machine_spec(const std::string& name_or_path) {
+  if (!common::iends_with(name_or_path, ".json"))
+    return machine_spec(name_or_path);
+  std::ifstream in(name_or_path, std::ios::binary);
+  if (!in)
+    throw std::invalid_argument("cannot read machine spec file " +
+                                name_or_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return MachineSpec::from_json(text.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(name_or_path + ": " + e.what());
+  }
+}
+
+}  // namespace p8::sim

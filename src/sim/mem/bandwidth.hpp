@@ -49,6 +49,9 @@ struct MemBandwidthParams {
   int core_random_mlp = 32;
   /// Row-activate-bound random service rate per chip, GB/s.
   double random_row_cap_gbs = 63.0;
+
+  friend bool operator==(const MemBandwidthParams&,
+                         const MemBandwidthParams&) = default;
 };
 
 /// A read:write byte mix.  read=1,write=0 is read-only.

@@ -44,6 +44,8 @@ struct NocParams {
   double ingest_cap_gbs = 70.0;
   int max_routes_inter_group = 2;
   double local_dram_latency_ns = 95.0;
+
+  friend bool operator==(const NocParams&, const NocParams&) = default;
 };
 
 /// Read data moving from the chip homing the memory to the consumer.

@@ -1,0 +1,127 @@
+// Tests for the shared bench helpers (bench/bench_util.hpp): counter
+// dumps — including CSV/JSON escaping of hostile counter names — and
+// the --machine / unknown-option plumbing every bench main() uses.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace p8;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(WriteCounters, EmptyPathIsANoOpSuccess) {
+  sim::CounterRegistry reg;
+  *reg.slot("a.b") = 1;
+  EXPECT_TRUE(bench::write_counters(reg, "", "bench"));
+}
+
+TEST(WriteCounters, ExtensionPicksTheFormat) {
+  sim::CounterRegistry reg;
+  *reg.slot("probe.hits") = 42;
+
+  const std::string csv_path = "bench_util_test_dump.csv";
+  ASSERT_TRUE(bench::write_counters(reg, csv_path, "t"));
+  EXPECT_EQ(slurp(csv_path), "counter,value\nprobe.hits,42\n");
+  std::remove(csv_path.c_str());
+
+  // Case-insensitive extension sniff, like every other path option.
+  const std::string upper_path = "bench_util_test_dump.CSV";
+  ASSERT_TRUE(bench::write_counters(reg, upper_path, "t"));
+  EXPECT_EQ(slurp(upper_path), "counter,value\nprobe.hits,42\n");
+  std::remove(upper_path.c_str());
+
+  const std::string json_path = "bench_util_test_dump.json";
+  ASSERT_TRUE(bench::write_counters(reg, json_path, "t"));
+  EXPECT_EQ(slurp(json_path),
+            "{\n  \"bench\": \"t\",\n  \"counters\": {\n"
+            "    \"probe.hits\": 42\n  }\n}\n");
+  std::remove(json_path.c_str());
+}
+
+TEST(WriteCounters, UnwritablePathFailsLoudly) {
+  sim::CounterRegistry reg;
+  *reg.slot("a") = 1;
+  EXPECT_FALSE(
+      bench::write_counters(reg, "no/such/dir/bench_util_test.csv", "t"));
+}
+
+TEST(CounterCsv, HostileNamesAreRfc4180Quoted) {
+  sim::CounterRegistry reg;
+  *reg.slot("plain.name") = 1;
+  *reg.slot("with,comma") = 2;
+  *reg.slot("with\"quote") = 3;
+  *reg.slot("with\nnewline") = 4;
+  const std::string csv = sim::CounterRegistry(reg).to_csv();
+  EXPECT_NE(csv.find("plain.name,1\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"with,comma\",2\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"with\"\"quote\",3\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"with\nnewline\",4\n"), std::string::npos) << csv;
+  // Exactly one header plus four rows.
+  EXPECT_EQ(csv.rfind("counter,value\n", 0), 0u) << csv;
+}
+
+TEST(CounterJson, HostileNamesAreEscaped) {
+  sim::CounterRegistry reg;
+  *reg.slot("with\"quote") = 1;
+  const std::string json = reg.to_json("bench \"x\"");
+  EXPECT_NE(json.find("\"bench \\\"x\\\"\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"with\\\"quote\": 1"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+
+common::ArgParser make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bench_util_test");
+  return common::ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FinishArgs, ProceedsOnCleanCommandLines) {
+  common::ArgParser args = make_args({"--machine=e870"});
+  (void)bench::machine_arg(args);
+  EXPECT_FALSE(bench::finish_args(args).has_value());
+}
+
+TEST(FinishArgs, HelpExitsZero) {
+  common::ArgParser args = make_args({"--help"});
+  (void)bench::machine_arg(args);
+  const auto exit_code = bench::finish_args(args);
+  ASSERT_TRUE(exit_code.has_value());
+  EXPECT_EQ(*exit_code, 0);
+}
+
+TEST(FinishArgs, UnknownOptionExitsTwo) {
+  common::ArgParser args = make_args({"--machin=e870"});
+  (void)bench::machine_arg(args);
+  const auto exit_code = bench::finish_args(args);
+  ASSERT_TRUE(exit_code.has_value());
+  EXPECT_EQ(*exit_code, 2);
+}
+
+TEST(MachineArg, DefaultsToE870AndAdvertisesPresets) {
+  common::ArgParser args = make_args({});
+  EXPECT_EQ(bench::machine_arg(args), "e870");
+  EXPECT_NE(args.help().find("e880"), std::string::npos);
+}
+
+TEST(LoadMachine, ResolvesPresetsAndRejectsGarbage) {
+  const auto spec = bench::load_machine("e850c");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->system.sockets, 2);
+  EXPECT_FALSE(bench::load_machine("e999").has_value());
+  EXPECT_FALSE(bench::load_machine("missing_file.json").has_value());
+}
+
+}  // namespace

@@ -429,7 +429,41 @@ TEST(Cli, HelpRequested) {
   ArgParser p(2, argv);
   p.get_int("n", 1, "the n");
   EXPECT_TRUE(p.finish());
+  EXPECT_TRUE(p.help_requested());
   EXPECT_NE(p.help().find("--n"), std::string::npos);
+}
+
+TEST(Cli, UnknownArgsListsOnlyUnconsumedOptions) {
+  // The non-throwing sibling of finish(): misspelled options come back
+  // in sorted order, declared/consumed ones and --help do not.
+  const char* argv[] = {"prog", "--zeta=1", "--alpha=2", "--known=3",
+                        "--help"};
+  ArgParser p(5, argv);
+  p.get_int("known", 0, "");
+  const std::vector<std::string> unknown = p.unknown_args();
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "alpha");
+  EXPECT_EQ(unknown[1], "zeta");
+  EXPECT_TRUE(p.help_requested());
+}
+
+TEST(Cli, UnknownArgsEmptyOnCleanCommandLine) {
+  const char* argv[] = {"prog", "--n=7"};
+  ArgParser p(2, argv);
+  p.get_int("n", 0, "");
+  EXPECT_TRUE(p.unknown_args().empty());
+  EXPECT_FALSE(p.help_requested());
+}
+
+TEST(Cli, SuggestFindsNearbyDeclaredOption) {
+  const char* argv[] = {"prog"};
+  ArgParser p(1, argv);
+  p.get_string("machine", "e870", "");
+  p.get_int("threads", 1, "");
+  EXPECT_EQ(p.suggest("machin"), "machine");    // one deletion
+  EXPECT_EQ(p.suggest("mahcine"), "machine");   // transposed pair
+  EXPECT_EQ(p.suggest("treads"), "threads");    // one deletion
+  EXPECT_EQ(p.suggest("verbose"), "");          // nothing close
 }
 
 // ------------------------------------------------------------ contracts ----

@@ -1,0 +1,173 @@
+// MachineSpec serialization, registry and differential tests.
+//
+// The two contracts the registry ships under:
+//  * JSON round-trips are byte-identical (save -> load -> save), so a
+//    spec file is a stable artifact, diffable and checksummable;
+//  * the registry-loaded e870 is the *same machine* as the spec the
+//    benches were calibrated against — bit-identical simulated
+//    results, not merely close ones.  This is what licensed deleting
+//    the old hard-coded Machine::e870() constructor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "sim/counters.hpp"
+#include "sim/machine/spec.hpp"
+#include "ubench/workloads.hpp"
+
+namespace {
+
+using namespace p8;
+
+TEST(MachineSpecJson, RoundTripIsByteIdentical) {
+  for (const std::string& name : sim::machine_names()) {
+    const sim::MachineSpec spec = sim::machine_spec(name);
+    const std::string first = spec.to_json();
+    const sim::MachineSpec reloaded = sim::MachineSpec::from_json(first);
+    EXPECT_EQ(reloaded, spec) << name;
+    EXPECT_EQ(reloaded.to_json(), first) << name;
+  }
+}
+
+TEST(MachineSpecJson, MissingMembersKeepDefaults) {
+  const sim::MachineSpec spec = sim::MachineSpec::from_json(
+      R"({"system": {"sockets": 2}})");
+  EXPECT_EQ(spec.system.sockets, 2);
+  // Everything unspecified stays at the default-constructed value.
+  sim::MachineSpec defaults;
+  defaults.system.sockets = 2;
+  EXPECT_EQ(spec, defaults);
+}
+
+TEST(MachineSpecJson, UnknownMemberIsAnErrorWithPath) {
+  try {
+    (void)sim::MachineSpec::from_json(R"({"system": {"socketz": 8}})");
+    FAIL() << "a typo must not silently simulate the default";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.system"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("socketz"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MachineSpecJson, TypeAndRangeErrorsCarryThePath) {
+  EXPECT_THROW((void)sim::MachineSpec::from_json(
+                   R"({"system": {"sockets": "eight"}})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)sim::MachineSpec::from_json(R"({"system": {"sockets": 2.5}})"),
+      std::invalid_argument);
+  EXPECT_THROW((void)sim::MachineSpec::from_json(R"({"name": 7})"),
+               std::invalid_argument);
+}
+
+TEST(MachineSpecJson, MalformedDocumentsAreRejected) {
+  EXPECT_THROW((void)sim::MachineSpec::from_json("{"), std::invalid_argument);
+  EXPECT_THROW((void)sim::MachineSpec::from_json("[1, 2]"),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::MachineSpec::from_json(
+                   R"({"system": {"sockets": 1, "sockets": 2}})"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MachineRegistry, EveryPresetIsFullyAuditClean) {
+  // Not just free of errors: a shipped preset carrying even a warning
+  // would gate-spam every bench run that selects it.
+  for (const std::string& name : sim::machine_names()) {
+    const sim::AuditReport report = sim::machine_spec(name).audit();
+    EXPECT_TRUE(report.ok()) << name << "\n" << report.to_string();
+    EXPECT_EQ(report.diagnostics.size(), 0u)
+        << name << " carries warnings:\n"
+        << report.to_string();
+  }
+}
+
+TEST(MachineRegistry, LookupContract) {
+  EXPECT_TRUE(sim::has_machine_spec("e870"));
+  EXPECT_FALSE(sim::has_machine_spec("e999"));
+  try {
+    (void)sim::machine_spec("e999");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    // The error must teach: every known name listed.
+    for (const std::string& name : sim::machine_names())
+      EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+          << e.what();
+  }
+}
+
+TEST(MachineRegistry, LoadFromJsonFileMatchesRegistry) {
+  const std::string path = "machine_spec_test_e880.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << sim::machine_spec("e880").to_json();
+  }
+  EXPECT_EQ(sim::load_machine_spec(path), sim::machine_spec("e880"));
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)sim::load_machine_spec("no_such_file.json"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t sweep_checksum(const std::vector<ubench::LatencyPoint>& pts) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const auto& p : pts) {
+    h = fnv1a(&p.working_set_bytes, sizeof(p.working_set_bytes), h);
+    h = fnv1a(&p.latency_ns, sizeof(p.latency_ns), h);
+  }
+  return h;
+}
+
+TEST(MachineSpecDifferential, RegistryE870MatchesLegacyConstructorBitForBit) {
+  // The machine the pre-registry benches simulated: the arch::e870()
+  // system spec with default model parameters, constructed directly.
+  const sim::Machine legacy(arch::e870());
+  const sim::Machine from_registry = sim::machine_spec("e870").machine();
+
+  ASSERT_TRUE(from_registry.spec() == legacy.spec());
+
+  // Same Fig. 2-style sweep through both, counters on: the simulated
+  // latencies must agree to the last mantissa bit and the event
+  // streams must agree event for event.
+  const std::vector<std::uint64_t> sizes = {
+      32 * 1024, 256 * 1024, 4u << 20, 32u << 20, 96u << 20, 512u << 20};
+  sim::CounterRegistry legacy_counters, registry_counters;
+  const auto legacy_points =
+      ubench::memory_latency_scan(legacy, sizes, 64 * 1024, 1,
+                                  &legacy_counters);
+  const auto registry_points =
+      ubench::memory_latency_scan(from_registry, sizes, 64 * 1024, 1,
+                                  &registry_counters);
+
+  EXPECT_EQ(sweep_checksum(registry_points), sweep_checksum(legacy_points));
+  EXPECT_EQ(registry_counters.snapshot(), legacy_counters.snapshot());
+
+  // The analytic models too: Table III / Table IV quantities.
+  EXPECT_EQ(from_registry.memory().system_stream_gbs({2, 1}),
+            legacy.memory().system_stream_gbs({2, 1}));
+  EXPECT_EQ(from_registry.noc().one_direction_gbs(0, 4),
+            legacy.noc().one_direction_gbs(0, 4));
+  EXPECT_EQ(from_registry.noc().memory_latency_ns(0, 1),
+            legacy.noc().memory_latency_ns(0, 1));
+}
+
+}  // namespace

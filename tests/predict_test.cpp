@@ -10,7 +10,7 @@ namespace p8::predict {
 namespace {
 
 const sim::Machine& machine() {
-  static const sim::Machine m = sim::Machine::e870();
+  static const sim::Machine m = sim::Machine(arch::e870());
   return m;
 }
 

@@ -1,0 +1,114 @@
+// Tiny property-based testing harness for the simulator tests.
+//
+// A property is an ordinary gtest body run against many generated
+// inputs.  P8_PROP drives the loop deterministically — the case seeds
+// are a pure function of the base seed, so CI failures reproduce
+// anywhere — and when a case fails it reports that case's seed, so the
+// failing input can be rebuilt in isolation:
+//
+//   TEST(CacheProperty, OccupancyBounded) {
+//     P8_PROP(gen, 200, 0xc0ffee) {
+//       const auto cfg = random_config(gen);   // gen: proptest::Gen
+//       ...EXPECT_LE(...);
+//     }
+//   }
+//
+// The loop stops at the first failing case (later cases would only
+// repeat the noise), announcing "falsified by case K (seed 0x...)".
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace p8::proptest {
+
+/// Deterministic xorshift64* generator — self-contained so property
+/// inputs never depend on the standard library's distribution
+/// implementations (which may differ across platforms).
+class Gen {
+ public:
+  explicit Gen(std::uint64_t seed)
+      : state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t u64() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [lo, hi] (inclusive); lo must be <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + u64() % (hi - lo + 1);
+  }
+
+  int int_range(int lo, int hi) {
+    return lo +
+           static_cast<int>(u64() % (static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform in [0, 1).
+  double unit() { return static_cast<double>(u64() >> 11) * 0x1.0p-53; }
+
+  double real_range(double lo, double hi) { return lo + unit() * (hi - lo); }
+
+  bool chance(double p) { return unit() < p; }
+
+  /// One element of a small literal list, uniformly.
+  template <typename T>
+  T pick(std::initializer_list<T> options) {
+    return options.begin()[u64() % options.size()];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Loop state behind P8_PROP; see the macro.
+class PropCase {
+ public:
+  PropCase(int cases, std::uint64_t base_seed)
+      : cases_(cases), base_seed_(base_seed) {}
+
+  bool next() {
+    if (index_ >= 0 && ::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "property falsified by case " << index_ << " of "
+                    << cases_ << " (case seed 0x" << std::hex << seed()
+                    << std::dec
+                    << ") — rebuild the input with proptest::Gen(that seed)";
+      return false;
+    }
+    ++index_;
+    armed_ = index_ < cases_;
+    return armed_;
+  }
+
+  /// Seed of the current case: a splitmix-style stream over the base
+  /// seed, so case k is reproducible without running cases 0..k-1.
+  std::uint64_t seed() const {
+    return base_seed_ + 0x9e3779b97f4a7c15ull *
+                            (static_cast<std::uint64_t>(index_) + 1);
+  }
+
+  bool armed() const { return armed_; }
+  void disarm() { armed_ = false; }
+
+ private:
+  int cases_;
+  std::uint64_t base_seed_;
+  int index_ = -1;
+  bool armed_ = false;
+};
+
+}  // namespace p8::proptest
+
+/// Runs the following block `cases` times with `gen` bound to a fresh
+/// deterministic generator per case.  Stops at the first gtest failure
+/// inside the block and reports the failing case's seed.
+#define P8_PROP(gen, cases, base_seed)                                  \
+  for (p8::proptest::PropCase p8_prop_case_((cases), (base_seed));      \
+       p8_prop_case_.next();)                                           \
+    for (p8::proptest::Gen gen(p8_prop_case_.seed());                   \
+         p8_prop_case_.armed(); p8_prop_case_.disarm())

@@ -36,7 +36,7 @@ TEST(ModelAudit, E870MachinePassesEveryRule) {
 }
 
 TEST(ModelAudit, MachineStoresItsAuditReport) {
-  const Machine machine = Machine::e870();
+  const Machine machine = Machine(arch::e870());
   EXPECT_TRUE(machine.audit().ok()) << machine.audit().to_string();
 }
 

@@ -108,7 +108,7 @@ TEST(Counter, DetachedHandleIsANoOp) {
 // -------------------------------------------------- component invariants ----
 
 TEST(CacheCounters, HitMissIdentityOnChase) {
-  const Machine machine = Machine::e870();
+  const Machine machine = Machine(arch::e870());
   CounterRegistry reg;
   ubench::ChaseOptions opt;
   opt.working_set_bytes = 4u << 20;  // L3-and-beyond footprint
@@ -135,7 +135,7 @@ TEST(CacheCounters, HitMissIdentityOnChase) {
 }
 
 TEST(TlbCounters, EratIdentityOnChase) {
-  const Machine machine = Machine::e870();
+  const Machine machine = Machine(arch::e870());
   CounterRegistry reg;
   ubench::ChaseOptions opt;
   opt.working_set_bytes = 8u << 20;  // beyond the 48 x 64 KB ERAT reach
@@ -153,7 +153,7 @@ TEST(TlbCounters, EratIdentityOnChase) {
 }
 
 TEST(PrefetchCounters, SequentialScanEngagesUnderDscrNamespace) {
-  const Machine machine = Machine::e870();
+  const Machine machine = Machine(arch::e870());
   CounterRegistry reg;
   ubench::StrideOptions opt;
   opt.stride_lines = 1;
@@ -176,7 +176,7 @@ TEST(PrefetchCounters, SequentialScanEngagesUnderDscrNamespace) {
 }
 
 TEST(NocCounters, SingleFlowLinkAccounting) {
-  const Machine machine = Machine::e870();
+  const Machine machine = Machine(arch::e870());
   NocModel noc = machine.noc();
   CounterRegistry reg;
   noc.attach_counters(&reg);
@@ -202,7 +202,7 @@ TEST(NocCounters, SingleFlowLinkAccounting) {
 }
 
 TEST(MemCounters, BindingMechanismAndSolveCount) {
-  const Machine machine = Machine::e870();
+  const Machine machine = Machine(arch::e870());
   MemoryBandwidthModel mem = machine.memory();
   CounterRegistry reg;
   mem.attach_counters(&reg);
@@ -225,7 +225,7 @@ TEST(MemCounters, BindingMechanismAndSolveCount) {
 }
 
 TEST(CoreCounters, IssueAccountingBalances) {
-  const Machine machine = Machine::e870();
+  const Machine machine = Machine(arch::e870());
   CoreSim core = machine.core_sim();
   CounterRegistry reg;
   core.attach_counters(&reg);
@@ -251,7 +251,7 @@ TEST(CoreCounters, IssueAccountingBalances) {
 // ------------------------------------------------------- determinism ----
 
 TEST(CounterDeterminism, ParallelMergeMatchesSequentialAnyWorkerCount) {
-  const Machine machine = Machine::e870();
+  const Machine machine = Machine(arch::e870());
   std::vector<std::uint64_t> sizes;
   for (std::uint64_t ws = common::kib(64); ws <= common::mib(4); ws *= 2)
     sizes.push_back(ws);
@@ -285,7 +285,7 @@ TEST(CounterDeterminism, RunCountedWithNullSinkBehavesLikeRun) {
 }
 
 TEST(CounterOverhead, ResultsIdenticalWithCountingOnAndOff) {
-  const Machine machine = Machine::e870();
+  const Machine machine = Machine(arch::e870());
 
   ubench::ChaseOptions off;
   off.working_set_bytes = 2u << 20;

@@ -160,7 +160,7 @@ TEST(Probe, ResetRestoresColdState) {
 }
 
 TEST(Machine, ProbeFactoryWiresRemoteLatency) {
-  const Machine m = Machine::e870();
+  const Machine m = Machine(arch::e870());
   ProbeOptions local;
   ProbeOptions remote;
   remote.home_chip = 4;
@@ -300,7 +300,7 @@ TEST(ProbeBatch, DcbtHintedBlockMatchesScalar) {
 }
 
 TEST(Machine, ProbeRejectsBadChips) {
-  const Machine m = Machine::e870();
+  const Machine m = Machine(arch::e870());
   ProbeOptions bad;
   bad.home_chip = 99;
   EXPECT_THROW(m.probe(bad), std::invalid_argument);

@@ -12,6 +12,7 @@
 
 #include "common/threading.hpp"
 #include "common/units.hpp"
+#include "arch/spec.hpp"
 #include "sim/audit.hpp"
 #include "sim/machine/sweep.hpp"
 #include "ubench/workloads.hpp"
@@ -20,7 +21,7 @@ namespace p8 {
 namespace {
 
 TEST(Sweep, Fig2ScanBitIdenticalToSequential) {
-  const sim::Machine machine = sim::Machine::e870();
+  const sim::Machine machine = sim::Machine(arch::e870());
   // A reduced Fig. 2 grid (16 KB .. 4 MB) covering L1/L2/L3 and the
   // ERAT spike region, for both page sizes.
   std::vector<std::uint64_t> sizes;
@@ -44,7 +45,7 @@ TEST(Sweep, Fig2ScanBitIdenticalToSequential) {
 }
 
 TEST(Sweep, Fig7StrideGridBitIdenticalToSequential) {
-  const sim::Machine machine = sim::Machine::e870();
+  const sim::Machine machine = sim::Machine(arch::e870());
   auto point = [&](std::size_t i) {
     ubench::StrideOptions opt;
     opt.dscr = 2 + static_cast<int>(i / 2);
@@ -64,7 +65,7 @@ TEST(Sweep, Fig7StrideGridBitIdenticalToSequential) {
 }
 
 TEST(Sweep, RepeatedRunsAreIdentical) {
-  const sim::Machine machine = sim::Machine::e870();
+  const sim::Machine machine = sim::Machine(arch::e870());
   auto point = [&](std::size_t i) {
     ubench::ChaseOptions opt;
     opt.working_set_bytes = common::kib(64) << i;

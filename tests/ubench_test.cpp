@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/units.hpp"
+#include "arch/spec.hpp"
 #include "sim/machine/machine.hpp"
 #include "ubench/workloads.hpp"
 
@@ -13,7 +14,7 @@ using common::kib;
 using common::mib;
 
 const sim::Machine& machine() {
-  static const sim::Machine m = sim::Machine::e870();
+  static const sim::Machine m = sim::Machine(arch::e870());
   return m;
 }
 

@@ -10,17 +10,28 @@
 //    workload drivers use) and through the scalar access() loop — with
 //    a bit-identical check on the resulting virtual clocks, and
 //  * wall-clock of the Figure 2 working-set sweep, sequential vs
-//    fanned across the SweepRunner, with a bit-identical check on the
-//    results and an FNV-1a checksum over the sweep doubles so drift in
-//    the simulated numbers (as opposed to drift in wall-clock speed)
-//    is machine-checkable.
+//    fanned across the SweepRunner — at the chosen --threads and at
+//    fixed 1/2/4-worker pools so the scaling curve is visible in the
+//    checked-in JSON — with a bit-identical check on the results and
+//    an FNV-1a checksum over the sweep doubles so drift in the
+//    simulated numbers (as opposed to drift in wall-clock speed) is
+//    machine-checkable, and
+//  * wall-clock of a heterogeneous multi-preset task graph: every
+//    machine-registry preset submits a construction task feeding
+//    pointer-chase and stride-replay tasks feeding a per-preset
+//    checksum, all into ONE sim::TaskEngine graph, timed on a 1-worker
+//    and a 4-worker pool.  This is the workload the work-stealing
+//    engine exists for — five machines of wildly different cost
+//    overlapping instead of running strictly one after another.
 //
 // Results are printed as a table and written as machine-readable JSON
 // (default BENCH_perf_simcore.json) so the perf trajectory is tracked
 // across PRs; scripts/tier1.sh diffs the checksum against the
-// checked-in baseline.
+// checked-in baseline.  --task-json dumps the heterogeneous graph's
+// per-task timeline for plotting (EXPERIMENTS.md).
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,9 +39,12 @@
 #include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "common/taskgraph.hpp"
+#include "common/threading.hpp"
 #include "common/timer.hpp"
 #include "common/units.hpp"
 #include "sim/machine/machine.hpp"
+#include "sim/machine/spec.hpp"
 #include "sim/machine/sweep.hpp"
 #include "ubench/workloads.hpp"
 
@@ -140,6 +154,125 @@ std::uint64_t sweep_checksum(const std::vector<ubench::LatencyPoint>& pts) {
   return h;
 }
 
+/// Fig. 2 sweep through a SweepRunner with `workers` workers; returns
+/// the wall-clock and appends a bit-identity verdict against `ref`.
+double timed_sweep(const sim::Machine& machine,
+                   const std::vector<std::uint64_t>& sizes, bool no_audit,
+                   std::size_t workers,
+                   const std::vector<ubench::LatencyPoint>& ref,
+                   bool& identical) {
+  sim::SweepRunner runner(workers);
+  runner.gate_on_audit(machine.audit());
+  if (no_audit) runner.waive_audit();
+  common::Timer timer;
+  const auto out =
+      ubench::memory_latency_scan(machine, sizes, 16ull << 20, /*dscr=*/1,
+                                  runner);
+  const double s = timer.seconds();
+  bool same = out.size() == ref.size();
+  for (std::size_t i = 0; same && i < ref.size(); ++i)
+    same = out[i].working_set_bytes == ref[i].working_set_bytes &&
+           out[i].latency_ns == ref[i].latency_ns;
+  identical = identical && same;
+  return s;
+}
+
+/// One run of the heterogeneous multi-preset graph.
+struct HeteroOutcome {
+  double wall_s = 0.0;
+  std::uint64_t checksum = 0;  ///< folded per-preset result checksums
+  std::size_t tasks = 0;
+  std::size_t steals = 0;
+  std::string timeline_json;
+};
+
+/// Builds and executes the heterogeneous graph: for every registry
+/// preset, a machine-construction task feeds four pointer-chase points
+/// and one stride replay, those feed a per-preset checksum task, and a
+/// final merge task folds the per-preset checksums in registry order
+/// (so the result is independent of execution order — the engine's
+/// determinism contract).  Task costs differ wildly across presets
+/// (the 192-core e880's victim scans against the 24-core e850c), which
+/// is exactly the imbalance work stealing exists to fill cores with.
+HeteroOutcome run_hetero_graph(std::size_t workers, std::uint64_t accesses) {
+  const std::vector<std::string> names = sim::machine_names();
+  struct Slot {
+    std::optional<sim::Machine> machine;
+    std::vector<double> lat;
+    double stride_ns = 0.0;
+    std::uint64_t checksum = 0;
+  };
+  std::vector<Slot> slots(names.size());
+  const std::vector<std::uint64_t> working_sets = {
+      common::kib(64), common::kib(512), common::mib(4), common::mib(32)};
+
+  HeteroOutcome out;
+  common::TaskGraph graph;
+  std::vector<common::TaskId> merges;
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    const std::string& name = names[m];
+    slots[m].lat.assign(working_sets.size(), 0.0);
+    const common::TaskId build =
+        graph.add(name + ":build", [&slots, m, name] {
+          slots[m].machine.emplace(sim::machine_spec(name).machine());
+        });
+    std::vector<common::TaskId> points;
+    for (std::size_t k = 0; k < working_sets.size(); ++k) {
+      const std::uint64_t ws = working_sets[k];
+      points.push_back(graph.add(
+          name + ":chase#" + std::to_string(k),
+          [&slots, m, k, ws, accesses] {
+            ubench::ChaseOptions opt;
+            opt.working_set_bytes = ws;
+            opt.warm_accesses = accesses / 4;
+            opt.measure_accesses = accesses;
+            opt.seed = 42 + k;
+            slots[m].lat[k] =
+                ubench::chase_latency_ns(*slots[m].machine, opt);
+          },
+          {build}));
+    }
+    points.push_back(graph.add(
+        name + ":stride",
+        [&slots, m, accesses] {
+          ubench::StrideOptions opt;
+          opt.accesses = accesses / 2;
+          slots[m].stride_ns =
+              ubench::stride_latency_ns(*slots[m].machine, opt);
+        },
+        {build}));
+    merges.push_back(graph.add(
+        name + ":checksum",
+        [&slots, m] {
+          std::uint64_t h = 14695981039346656037ull;
+          for (const double v : slots[m].lat) h = fnv1a(&v, sizeof(v), h);
+          h = fnv1a(&slots[m].stride_ns, sizeof(slots[m].stride_ns), h);
+          slots[m].checksum = h;
+        },
+        points));
+  }
+  std::uint64_t folded = 14695981039346656037ull;
+  graph.add(
+      "merge",
+      [&slots, &folded] {
+        // Registry order, never completion order: bit-identical for
+        // any worker count.
+        for (const Slot& slot : slots)
+          folded = fnv1a(&slot.checksum, sizeof(slot.checksum), folded);
+      },
+      merges);
+
+  common::ThreadPool pool(workers);
+  common::TaskEngine engine(pool);
+  engine.run(graph);
+  out.wall_s = engine.wall_s();
+  out.checksum = folded;
+  out.tasks = graph.size();
+  out.steals = engine.steals();
+  out.timeline_json = engine.timeline_json("perf_simcore.hetero");
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,15 +281,20 @@ int main(int argc, char** argv) {
       args.get_int("max-mb", 512, "largest Fig. 2 working set in MiB"));
   const std::uint64_t accesses = static_cast<std::uint64_t>(
       args.get_int("accesses", 4 << 20, "hot-path accesses per pattern"));
-  const std::size_t threads = static_cast<std::size_t>(
-      args.get_int("threads", 0, "sweep workers (0 = hardware threads)"));
+  const std::optional<std::size_t> threads_opt = bench::threads_arg(args);
   const int reps = static_cast<int>(
       args.get_int("reps", 5, "hot-path timing repetitions (best-of-N)"));
+  const std::uint64_t hetero_accesses = static_cast<std::uint64_t>(args.get_int(
+      "hetero-accesses", 1 << 17,
+      "measured accesses per task of the heterogeneous preset graph"));
   const std::string json_path = args.get_string(
       "json", "BENCH_perf_simcore.json", "machine-readable output file");
+  const std::string task_json = bench::task_json_arg(args);
   const bool no_audit = bench::no_audit_arg(args);
   const std::string machine_sel = bench::machine_arg(args);
   if (auto exit_code = bench::finish_args(args)) return *exit_code;
+  if (!threads_opt) return 2;
+  const std::size_t threads = *threads_opt;
 
   bench::print_header("Perf", "simulator hot-path and sweep-engine timing");
 
@@ -189,10 +327,35 @@ int main(int argc, char** argv) {
                 sequential[i].latency_ns == parallel[i].latency_ns;
   const std::uint64_t checksum = sweep_checksum(sequential);
 
+  // The fixed-width scaling curve: the same sweep on 1/2/4-worker
+  // pools, every run checked bit-identical against the sequential
+  // reference.
+  const std::size_t widths[] = {1, 2, 4};
+  double width_s[3] = {0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < 3; ++i)
+    width_s[i] =
+        timed_sweep(machine, sizes, no_audit, widths[i], sequential,
+                    identical);
+
+  // The heterogeneous multi-preset graph, serial (1 worker) vs a
+  // 4-worker stealing pool; the folded checksums must match bit for
+  // bit.
+  const HeteroOutcome hetero_serial = run_hetero_graph(1, hetero_accesses);
+  const HeteroOutcome hetero_par = run_hetero_graph(4, hetero_accesses);
+  const bool hetero_identical =
+      hetero_serial.checksum == hetero_par.checksum;
+  const double hetero_speedup =
+      hetero_par.wall_s > 0.0 ? hetero_serial.wall_s / hetero_par.wall_s
+                              : 1.0;
+
   // An empty sweep (--max-mb 0) times only overhead; report 1x rather
   // than the ratio of two noise measurements.
   const double speedup = sizes.empty() ? 1.0 : seq_s / par_s;
-  const bool all_identical = identical && seq.identical && cha.identical;
+  auto width_speedup = [&](std::size_t i) {
+    return sizes.empty() || width_s[i] <= 0.0 ? 1.0 : seq_s / width_s[i];
+  };
+  const bool all_identical =
+      identical && seq.identical && cha.identical && hetero_identical;
 
   common::TextTable t({"Metric", "Value"});
   t.add_row({"seq scan (dscr 7), Macc/s", common::fmt_num(seq.batched_macc_per_s, 1)});
@@ -205,10 +368,25 @@ int main(int argc, char** argv) {
                  " workers (s)",
              common::fmt_num(par_s, 2)});
   t.add_row({"sweep speedup", common::fmt_num(speedup, 2) + "x"});
+  t.add_row({"sweep speedup @1/2/4 workers",
+             common::fmt_num(width_speedup(0), 2) + "x / " +
+                 common::fmt_num(width_speedup(1), 2) + "x / " +
+                 common::fmt_num(width_speedup(2), 2) + "x"});
+  t.add_row({"hetero graph tasks", std::to_string(hetero_par.tasks)});
+  t.add_row({"hetero graph serial (s)",
+             common::fmt_num(hetero_serial.wall_s, 2)});
+  t.add_row({"hetero graph 4 workers (s)",
+             common::fmt_num(hetero_par.wall_s, 2)});
+  t.add_row({"hetero graph speedup",
+             common::fmt_num(hetero_speedup, 2) + "x (" +
+                 std::to_string(hetero_par.steals) + " steals)"});
   t.add_row({"bit-identical results", all_identical ? "yes" : "NO"});
   std::printf("%s\n", t.to_string().c_str());
   std::printf("sweep checksum: %016llx\n\n",
               static_cast<unsigned long long>(checksum));
+
+  if (!bench::write_task_timeline(hetero_par.timeline_json, task_json))
+    return 1;
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f,
@@ -225,6 +403,17 @@ int main(int argc, char** argv) {
                  "  \"sweep_sequential_s\": %.4f,\n"
                  "  \"sweep_parallel_s\": %.4f,\n"
                  "  \"sweep_speedup\": %.3f,\n"
+                 "  \"sweep_speedup_w1\": %.3f,\n"
+                 "  \"sweep_speedup_w2\": %.3f,\n"
+                 "  \"sweep_speedup_w4\": %.3f,\n"
+                 "  \"hetero_tasks\": %zu,\n"
+                 "  \"hetero_workers\": 4,\n"
+                 "  \"hetero_serial_s\": %.4f,\n"
+                 "  \"hetero_parallel_s\": %.4f,\n"
+                 "  \"hetero_speedup\": %.3f,\n"
+                 "  \"hetero_checksum\": \"%016llx\",\n"
+                 "  \"hetero_identical\": %s,\n"
+                 "  \"task_engine_steals\": %llu,\n"
                  "  \"sweep_checksum\": \"%016llx\",\n"
                  "  \"bit_identical\": %s\n"
                  "}\n",
@@ -233,7 +422,13 @@ int main(int argc, char** argv) {
                  seq.batched_macc_per_s, seq.scalar_macc_per_s,
                  cha.batched_macc_per_s, cha.scalar_macc_per_s,
                  static_cast<unsigned long long>(max_mb), sizes.size(), seq_s,
-                 par_s, speedup, static_cast<unsigned long long>(checksum),
+                 par_s, speedup, width_speedup(0), width_speedup(1),
+                 width_speedup(2), hetero_par.tasks, hetero_serial.wall_s,
+                 hetero_par.wall_s, hetero_speedup,
+                 static_cast<unsigned long long>(hetero_par.checksum),
+                 hetero_identical ? "true" : "false",
+                 static_cast<unsigned long long>(hetero_par.steals),
+                 static_cast<unsigned long long>(checksum),
                  all_identical ? "true" : "false");
     std::fclose(f);
     std::printf("JSON written to %s\n", json_path.c_str());

@@ -21,11 +21,21 @@
 //   noc.group-latency  remote memory costs more than local, and
 //                      inter-group more than intra-group.
 //
+// Every machine's work — construction, the four analysis passes, the
+// verdict pass — is submitted as ONE sim::TaskEngine graph, so a slow
+// preset (the 192-core e880) overlaps the cheap ones instead of
+// serializing behind them.  Analyses write disjoint MachineReport
+// fields and the verdict task runs the checks in the canonical serial
+// order, so the table, the JSON artifact and the stderr FAIL lines are
+// bit-identical at any worker count (--threads).  --task-json dumps
+// the graph's per-task timeline.
+//
 // One JSON artifact (--json) captures every number behind the
 // verdicts.  Exit: 0 all invariants hold, 1 a violation, 2 bad
 // configuration/flags.
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +43,8 @@
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
+#include "common/taskgraph.hpp"
+#include "common/threading.hpp"
 #include "ubench/workloads.hpp"
 
 namespace {
@@ -86,32 +98,73 @@ struct MachineReport {
   std::vector<Verdict> verdicts;
 };
 
+// Appends a verdict; the FAIL lines print after the whole graph has
+// drained (main), in selector order, so stderr is deterministic at any
+// worker count.
 void check(MachineReport& r, const std::string& invariant, bool ok,
            const std::string& detail) {
   r.verdicts.push_back({invariant, ok, detail});
-  if (!ok)
-    std::fprintf(stderr, "FAIL [%s] %s: %s\n", r.selector.c_str(),
-                 invariant.c_str(), detail.c_str());
 }
 
-MachineReport run_machine(const std::string& selector,
-                          const sim::MachineSpec& spec,
-                          sim::SweepRunner& runner) {
-  MachineReport r;
-  r.selector = selector;
-  r.name = spec.system.name;
-  r.total_cores = spec.system.total_cores();
-  const sim::Machine machine = spec.machine();
-  const arch::SystemSpec& s = spec.system;
+// -------------------------------------------------------------------
+// The analysis passes.  Each one runs as its own task in the engine
+// graph and writes a disjoint slice of the MachineReport; the bodies
+// use only the sequential workload paths (the engine is not
+// re-entrant), which are bit-identical to the fanned ones by the sweep
+// tests' determinism contract.
+// -------------------------------------------------------------------
 
-  // Fig. 2: latency at each hierarchy landmark (prefetch off).
+/// Fig. 2: latency at each hierarchy landmark (prefetch off).
+void analyze_latency(MachineReport& r, const sim::Machine& machine,
+                     const arch::SystemSpec& s) {
   r.marks = landmarks(s);
   std::vector<std::uint64_t> sizes;
   for (const Landmark& m : r.marks) sizes.push_back(m.bytes);
   for (const auto& point :
-       ubench::memory_latency_scan(machine, sizes, 64 * 1024, /*dscr=*/1,
-                                   runner))
+       ubench::memory_latency_scan(machine, sizes, 64 * 1024, /*dscr=*/1))
     r.latency_ns.push_back(point.latency_ns);
+}
+
+/// Fig. 3a/3b: threads per core on one core, then chip scaling with
+/// all cores and threads (2:1 mix).
+void analyze_bandwidth(MachineReport& r, const sim::Machine& machine,
+                       const arch::SystemSpec& s) {
+  const sim::RwMix mix21{2, 1};
+  const int smt = s.processor.core.smt_threads;
+  for (int t = 1; t <= smt; ++t)
+    r.thread_gbs.push_back(machine.memory().stream_gbs(1, 1, t, mix21));
+  for (int c = 1; c <= s.total_chips(); ++c)
+    r.chip_gbs.push_back(
+        machine.memory().stream_gbs(c, s.cores_per_chip, smt, mix21));
+}
+
+/// Table III: the paper's read:write mix column.
+void analyze_mix(MachineReport& r, const sim::Machine& machine) {
+  r.mixes = {{1, 0}, {16, 1}, {8, 1}, {4, 1}, {2, 1},
+             {1, 1}, {1, 2},  {1, 4}, {0, 1}};
+  for (std::size_t i = 0; i < r.mixes.size(); ++i)
+    r.mix_gbs.push_back(machine.memory().system_stream_gbs(r.mixes[i]));
+}
+
+/// Table IV corner: local / intra-group / inter-group latency.
+void analyze_noc(MachineReport& r, const sim::Machine& machine,
+                 const arch::SystemSpec& s) {
+  r.local_ns = machine.noc().memory_latency_ns(0, 0);
+  if (s.total_chips() > 1) {
+    r.intra_ns = machine.noc().memory_latency_ns(0, 1);
+    r.intra_gbs = machine.noc().one_direction_gbs(0, 1);
+  }
+  if (s.groups() > 1) {
+    const int partner = s.chips_per_group;  // chip 0's cross-midplane pair
+    r.inter_ns = machine.noc().memory_latency_ns(0, partner);
+    r.inter_gbs = machine.noc().one_direction_gbs(0, partner);
+  }
+}
+
+/// The verdict pass: depends on all four analyses and replays the
+/// checks in the canonical order, so r.verdicts is identical to what
+/// the old serial interleaving produced.
+void run_verdicts(MachineReport& r, const arch::SystemSpec& s) {
   for (std::size_t i = 1; i < r.marks.size(); ++i)
     check(r, "latency.plateaus",
           r.latency_ns[i] > r.latency_ns[i - 1],
@@ -120,11 +173,7 @@ MachineReport run_machine(const std::string& selector,
               r.marks[i].level + "=" + common::fmt_num(r.latency_ns[i], 1) +
               " ns");
 
-  // Fig. 3a: threads per core, one core (2:1 mix).
-  const sim::RwMix mix21{2, 1};
   const int smt = s.processor.core.smt_threads;
-  for (int t = 1; t <= smt; ++t)
-    r.thread_gbs.push_back(machine.memory().stream_gbs(1, 1, t, mix21));
   for (int t = 1; t < smt; ++t)
     check(r, "bandwidth.threads",
           r.thread_gbs[static_cast<std::size_t>(t)] >=
@@ -136,25 +185,18 @@ MachineReport run_machine(const std::string& selector,
               common::fmt_num(r.thread_gbs[static_cast<std::size_t>(t)], 1) +
               " GB/s");
 
-  // Fig. 3b: chip scaling, all cores and threads.
-  for (int c = 1; c <= s.total_chips(); ++c)
-    r.chip_gbs.push_back(
-        machine.memory().stream_gbs(c, s.cores_per_chip, smt, mix21));
   for (std::size_t c = 1; c < r.chip_gbs.size(); ++c)
     check(r, "bandwidth.chips", r.chip_gbs[c] >= r.chip_gbs[c - 1],
           std::to_string(c) + "->" + std::to_string(c + 1) + " chips: " +
               common::fmt_num(r.chip_gbs[c - 1], 1) + " -> " +
               common::fmt_num(r.chip_gbs[c], 1) + " GB/s");
 
-  // Table III: the paper's read:write mix column.  2:1 must be the
-  // peak over the mixes the paper measured — both link directions
-  // saturate together only at the Centaur 2-read:1-write geometry.
-  r.mixes = {{1, 0}, {16, 1}, {8, 1}, {4, 1}, {2, 1},
-             {1, 1}, {1, 2},  {1, 4}, {0, 1}};
+  // 2:1 must be the peak over the mixes the paper measured — both link
+  // directions saturate together only at the Centaur 2-read:1-write
+  // geometry.
   double best_gbs = 0.0;
   double gbs_2to1 = 0.0;
   for (std::size_t i = 0; i < r.mixes.size(); ++i) {
-    r.mix_gbs.push_back(machine.memory().system_stream_gbs(r.mixes[i]));
     best_gbs = std::max(best_gbs, r.mix_gbs[i]);
     if (r.mixes[i].read == 2.0 && r.mixes[i].write == 1.0)
       gbs_2to1 = r.mix_gbs[i];
@@ -163,24 +205,14 @@ MachineReport run_machine(const std::string& selector,
         "2:1 gives " + common::fmt_num(gbs_2to1, 0) + " GB/s but the best " +
             "probed mix gives " + common::fmt_num(best_gbs, 0) + " GB/s");
 
-  // Table IV corner: local < intra-group < inter-group latency.
-  r.local_ns = machine.noc().memory_latency_ns(0, 0);
-  if (s.total_chips() > 1) {
-    r.intra_ns = machine.noc().memory_latency_ns(0, 1);
-    r.intra_gbs = machine.noc().one_direction_gbs(0, 1);
+  if (s.total_chips() > 1)
     check(r, "noc.group-latency", r.intra_ns > r.local_ns,
           "local " + common::fmt_num(r.local_ns, 0) + " ns vs intra-group " +
               common::fmt_num(r.intra_ns, 0) + " ns");
-  }
-  if (s.groups() > 1) {
-    const int partner = s.chips_per_group;  // chip 0's cross-midplane pair
-    r.inter_ns = machine.noc().memory_latency_ns(0, partner);
-    r.inter_gbs = machine.noc().one_direction_gbs(0, partner);
+  if (s.groups() > 1)
     check(r, "noc.group-latency", r.inter_ns > r.intra_ns,
           "intra-group " + common::fmt_num(r.intra_ns, 0) +
               " ns vs inter-group " + common::fmt_num(r.inter_ns, 0) + " ns");
-  }
-  return r;
 }
 
 std::string report_json(const std::vector<MachineReport>& reports, bool ok) {
@@ -238,10 +270,12 @@ int main(int argc, char** argv) {
       "\"all\" = every registry preset");
   const std::string json_path = args.get_string(
       "json", "BENCH_scaling_matrix.json", "machine-readable output file");
-  const std::size_t threads = static_cast<std::size_t>(
-      args.get_int("threads", 0, "sweep workers (0 = hardware threads)"));
+  const std::optional<std::size_t> threads_opt = bench::threads_arg(args);
+  const std::string task_json = bench::task_json_arg(args);
   const bool no_audit = bench::no_audit_arg(args);
   if (auto exit_code = bench::finish_args(args)) return *exit_code;
+  if (!threads_opt) return 2;
+  const std::size_t threads = *threads_opt;
 
   bench::print_header("Scaling matrix",
                       "paper shape invariants across machine configurations");
@@ -265,15 +299,69 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  sim::SweepRunner runner(threads);
-  std::vector<MachineReport> reports;
+  // Load every spec and gate every audit serially up front — the
+  // exit-2 path and the audit diagnostics keep their order — then
+  // submit all machines into ONE task graph: per machine a
+  // construction task fans into the four analysis passes, which feed a
+  // verdict pass.  The engine schedules freely; the reports are
+  // slot-indexed and every merge below walks them in selector order,
+  // so the outputs are bit-identical at any --threads.
+  struct Job {
+    std::string selector;
+    sim::MachineSpec spec;
+    std::optional<sim::Machine> machine;
+    MachineReport report;
+  };
+  std::vector<Job> jobs;
   for (const std::string& selector : selectors) {
     const auto spec = bench::load_machine(selector);
     if (!spec) return 2;
-    runner.gate_on_audit(spec->audit());
-    if (no_audit) runner.waive_audit();
     if (!bench::gate_model(spec->machine(), no_audit)) return 2;
-    reports.push_back(run_machine(selector, *spec, runner));
+    jobs.push_back(Job{selector, *spec, std::nullopt, MachineReport{}});
+  }
+
+  common::TaskGraph graph;
+  for (Job& job : jobs) {
+    job.report.selector = job.selector;
+    job.report.name = job.spec.system.name;
+    job.report.total_cores = job.spec.system.total_cores();
+    const common::TaskId build = graph.add(
+        job.selector + ":build",
+        [&job] { job.machine.emplace(job.spec.machine()); });
+    const common::TaskId lat = graph.add(
+        job.selector + ":latency",
+        [&job] { analyze_latency(job.report, *job.machine, job.spec.system); },
+        {build});
+    const common::TaskId bw = graph.add(
+        job.selector + ":bandwidth",
+        [&job] {
+          analyze_bandwidth(job.report, *job.machine, job.spec.system);
+        },
+        {build});
+    const common::TaskId mix = graph.add(
+        job.selector + ":mix",
+        [&job] { analyze_mix(job.report, *job.machine); }, {build});
+    const common::TaskId noc = graph.add(
+        job.selector + ":noc",
+        [&job] { analyze_noc(job.report, *job.machine, job.spec.system); },
+        {build});
+    graph.add(job.selector + ":verdicts",
+              [&job] { run_verdicts(job.report, job.spec.system); },
+              {lat, bw, mix, noc});
+  }
+
+  common::ThreadPool pool(threads ? threads : common::default_thread_count());
+  common::TaskEngine engine(pool);
+  engine.run(graph);
+
+  std::vector<MachineReport> reports;
+  for (Job& job : jobs) {
+    for (const Verdict& v : job.report.verdicts)
+      if (!v.ok)
+        std::fprintf(stderr, "FAIL [%s] %s: %s\n",
+                     job.report.selector.c_str(), v.invariant.c_str(),
+                     v.detail.c_str());
+    reports.push_back(std::move(job.report));
   }
 
   bool all_ok = true;
@@ -307,6 +395,10 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
+
+  if (!bench::write_task_timeline(engine.timeline_json("scaling_matrix"),
+                                  task_json))
+    return 1;
 
   std::printf(all_ok ? "scaling matrix: all structural invariants hold\n"
                      : "scaling matrix: INVARIANT VIOLATIONS (see stderr)\n");

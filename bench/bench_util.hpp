@@ -64,6 +64,51 @@ inline bool write_counters(const sim::CounterRegistry& registry,
   return true;
 }
 
+/// Declares the shared `--threads` flag: how many workers the bench's
+/// sweep pool / task engine uses, 0 (the default) meaning one per
+/// hardware thread.  Out-of-range values (negative, or past a sanity
+/// cap no real pool wants) print a diagnostic and return nullopt —
+/// callers turn that into exit code 2, the same loud-failure path a
+/// misspelled option takes (and `--thread=` itself lands in
+/// finish_args' did-you-mean hint because the flag is declared here).
+inline std::optional<std::size_t> threads_arg(common::ArgParser& args) {
+  const std::int64_t raw = args.get_int(
+      "threads", 0, "task-engine workers (0 = one per hardware thread)");
+  if (raw >= 0 && raw <= 4096) return static_cast<std::size_t>(raw);
+  std::fprintf(stderr,
+               "error: --threads must be between 0 and 4096, got %lld\n",
+               static_cast<long long>(raw));
+  return std::nullopt;
+}
+
+/// Declares the shared `--task-json` flag: where to dump the task
+/// engine's per-task timing timeline, "" (the default) meaning no
+/// artifact.
+inline std::string task_json_arg(common::ArgParser& args) {
+  return args.get_string(
+      "task-json", "",
+      "dump the task-engine timing timeline (JSON) here; \"\" = off");
+}
+
+/// Writes a pre-rendered task-timeline JSON document to `path`.  No-op
+/// returning true for an empty path, so benches call it
+/// unconditionally; an unwritable path prints to stderr and returns
+/// false (callers exit non-zero), mirroring write_counters.
+inline bool write_task_timeline(const std::string& body,
+                                const std::string& path) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write task timeline to %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fputs(body.c_str(), f);
+  std::fclose(f);
+  std::printf("task timeline written to %s\n", path.c_str());
+  return true;
+}
+
 /// Declares the shared `--machine` flag: which machine to simulate — a
 /// registry preset name or a path to a MachineSpec .json file
 /// (docs/MODEL.md).  `def` is the bench's calibrated default.

@@ -14,30 +14,70 @@ cmake -B build -S . "$@"
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-# Perf smoke: small Fig. 2 sweep + hot-path throughput; fails if the
-# parallel sweep is not bit-identical to the sequential one.
-./build/bench/bench_perf_simcore --max-mb 16 --accesses $((1 << 20)) \
-  --json build/BENCH_perf_simcore_smoke.json
+# Perf smoke: small Fig. 2 sweep + hot-path throughput + the
+# heterogeneous task-engine graph; fails if any parallel run is not
+# bit-identical to its sequential reference.  Dumps the task-engine
+# timeline so the gate below can schema-check the artifact.
+perf_smoke() {
+  ./build/bench/bench_perf_simcore --max-mb 16 --accesses $((1 << 20)) \
+    --json build/BENCH_perf_simcore_smoke.json \
+    --task-json build/task_timeline_smoke.json
+}
+perf_smoke
 
 # Perf baseline: the simulated numbers (sweep checksum) must match the
 # checked-in BENCH_perf_simcore.json bit for bit — that is a
 # correctness property and a hard failure.  Throughput is wall-clock
-# and machine-dependent, so a >25% drop against the baseline only
-# warns; investigate before re-baselining.
-python3 - build/BENCH_perf_simcore_smoke.json BENCH_perf_simcore.json <<'EOF'
+# noisy, so a >25% drop against the baseline fails only when it is
+# sustained: the first failing measurement triggers one re-run, and
+# only a second independent failure is fatal (exit 3 from the gate
+# means "throughput only — retry me").
+perf_gate() {
+  python3 - build/BENCH_perf_simcore_smoke.json BENCH_perf_simcore.json <<'EOF'
 import json, sys
 fresh = json.load(open(sys.argv[1]))
 base = json.load(open(sys.argv[2]))
 if fresh["sweep_checksum"] != base["sweep_checksum"]:
-    sys.exit("FAIL: sweep checksum drifted: %s (baseline %s) — "
-             "the simulated latencies changed"
-             % (fresh["sweep_checksum"], base["sweep_checksum"]))
-for key in ("seq_scan_macc_per_s", "chase_macc_per_s"):
-    now, then = fresh[key], base[key]
-    if now < 0.75 * then:
-        print("WARNING: %s dropped >25%%: %.3f vs baseline %.3f"
-              % (key, now, then))
-print("perf baseline: checksum OK")
+    print("FAIL: sweep checksum drifted: %s (baseline %s) — "
+          "the simulated latencies changed"
+          % (fresh["sweep_checksum"], base["sweep_checksum"]))
+    sys.exit(1)
+slow = [key for key in ("seq_scan_macc_per_s", "chase_macc_per_s")
+        if fresh[key] < 0.75 * base[key]]
+for key in slow:
+    print("PERF: %s dropped >25%%: %.3f vs baseline %.3f"
+          % (key, fresh[key], base[key]))
+sys.exit(3 if slow else 0)
+EOF
+}
+gate_status=0
+perf_gate || gate_status=$?
+if [ "$gate_status" -eq 3 ]; then
+  echo "perf gate: throughput drop — re-running once to rule out noise"
+  perf_smoke
+  perf_gate || { echo "FAIL: sustained >25% throughput drop"; exit 1; }
+elif [ "$gate_status" -ne 0 ]; then
+  exit "$gate_status"
+fi
+echo "perf baseline: checksum and throughput OK"
+
+# Task-timeline artifact: must parse and carry the schema the plotting
+# recipe in docs/EXPERIMENTS.md consumes — one record per task, spans
+# ordered within each record, every worker id inside range.
+python3 - build/task_timeline_smoke.json <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+for key in ("bench", "workers", "tasks", "steals", "wall_s", "timeline"):
+    assert key in t, "missing key: %s" % key
+assert t["tasks"] == len(t["timeline"]), "tasks != len(timeline)"
+for rec in t["timeline"]:
+    for key in ("name", "worker", "start_s", "end_s", "stolen", "cancelled"):
+        assert key in rec, "missing record key: %s" % key
+    assert 0 <= rec["worker"] < t["workers"], "worker id out of range"
+    assert rec["start_s"] <= rec["end_s"], "negative task span"
+    assert not rec["cancelled"], "cancelled task in a clean run"
+print("task timeline: schema OK (%d tasks, %d steals)"
+      % (t["tasks"], t["steals"]))
 EOF
 
 # Fidelity gate: every modelled paper quantity inside its calibrated

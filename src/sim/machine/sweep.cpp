@@ -23,4 +23,19 @@ void SweepRunner::check_audit() const {
       audit_failure_);
 }
 
+void SweepRunner::run_graph(common::TaskGraph& graph) {
+  common::TaskEngine engine(*pool_);
+  try {
+    engine.run(graph);
+  } catch (...) {
+    // Keep the partial timeline visible (cancelled tasks and all),
+    // then let the first task exception reach the caller as before.
+    last_timeline_ = engine.timeline();
+    last_steals_ = engine.steals();
+    throw;
+  }
+  last_timeline_ = engine.timeline();
+  last_steals_ = engine.steals();
+}
+
 }  // namespace p8::sim

@@ -4,10 +4,14 @@
 // sweep point (working-set sizes for Fig. 2, DSCR depths for Fig. 6,
 // strides for Fig. 7, block sizes for Fig. 8).  The points are
 // independent — each builds its own LatencyProbe / RNG from its index
-// — so the sweep is embarrassingly parallel.  SweepRunner fans the
-// points across a common::ThreadPool and returns results in submission
+// — so the sweep is embarrassingly parallel.  SweepRunner submits the
+// points as one flat task graph to common::TaskEngine (work-stealing
+// deques over a common::ThreadPool) and returns results in submission
 // order, making the parallel sweep bit-identical to the sequential
-// loop regardless of thread count or OS scheduling.
+// loop regardless of thread count or OS scheduling.  Benches that
+// overlap heterogeneous work (several machines, several workloads)
+// build richer graphs on the same engine directly — see
+// bench_scaling_matrix and docs/PERF.md.
 //
 // The contract the caller must honour for that guarantee: the point
 // function may read shared state (a const Machine&) but must derive
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "common/contract.hpp"
+#include "common/taskgraph.hpp"
 #include "common/threading.hpp"
 #include "sim/audit.hpp"
 #include "sim/counters.hpp"
@@ -52,11 +57,25 @@ class SweepRunner {
   /// run anyway (deliberate counterfactual / debugging runs).
   void waive_audit() { audit_failure_.clear(); }
 
+  /// Names the tasks the next run()/map()/run_counted() submits (the
+  /// label shows up in the timing timeline as "<label>#<index>").
+  void set_task_label(std::string label) { task_label_ = std::move(label); }
+
+  /// Per-task timing records of the most recent run (task name,
+  /// executing worker, start/end, steal flag) — the raw material for
+  /// the task-timeline JSON artifact (docs/PERF.md).
+  const std::vector<common::TaskRecord>& last_timeline() const {
+    return last_timeline_;
+  }
+
+  /// Successful steals during the most recent run.
+  std::size_t last_steals() const { return last_steals_; }
+
   /// Evaluates `point(i)` for every i in [0, points) across the pool
-  /// and returns the results in submission order.  Points are handed
-  /// out one at a time from a shared counter (they are few and heavy,
-  /// and their costs vary wildly across a sweep — dynamic scheduling
-  /// keeps the tail short).
+  /// and returns the results in submission order.  The points become
+  /// one flat task graph on the work-stealing engine (they are few and
+  /// heavy, and their costs vary wildly across a sweep — stealing
+  /// keeps the tail short without a shared counter hot spot).
   template <typename Fn>
   auto run(std::size_t points, Fn&& point)
       -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
@@ -65,8 +84,11 @@ class SweepRunner {
                       "sweep results must be default-constructible");
     check_audit();
     std::vector<Result> out(points);
-    pool_->parallel_for_dynamic(
-        0, points, 1, [&](std::size_t i) { out[i] = point(i); });
+    common::TaskGraph graph;
+    for (std::size_t i = 0; i < points; ++i)
+      graph.add(task_label_ + "#" + std::to_string(i),
+                [&out, &point, i] { out[i] = point(i); });
+    run_graph(graph);
     return out;
   }
 
@@ -107,10 +129,16 @@ class SweepRunner {
   /// entry point.
   void check_audit() const;
 
+  /// Executes `graph` on the pool and stashes its timeline.
+  void run_graph(common::TaskGraph& graph);
+
   std::unique_ptr<common::ThreadPool> owned_;
   common::ThreadPool* pool_;
   /// Formatted diagnostics of an attached failing audit; empty = runnable.
   std::string audit_failure_;
+  std::string task_label_ = "sweep";
+  std::vector<common::TaskRecord> last_timeline_;
+  std::size_t last_steals_ = 0;
 };
 
 }  // namespace p8::sim

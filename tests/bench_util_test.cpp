@@ -1,6 +1,7 @@
 // Tests for the shared bench helpers (bench/bench_util.hpp): counter
-// dumps — including CSV/JSON escaping of hostile counter names — and
-// the --machine / unknown-option plumbing every bench main() uses.
+// dumps — including CSV/JSON escaping of hostile counter names — the
+// --machine / unknown-option plumbing every bench main() uses, and
+// the --threads / --task-json task-engine flags.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -114,6 +115,45 @@ TEST(MachineArg, DefaultsToE870AndAdvertisesPresets) {
   common::ArgParser args = make_args({});
   EXPECT_EQ(bench::machine_arg(args), "e870");
   EXPECT_NE(args.help().find("e880"), std::string::npos);
+}
+
+TEST(ThreadsArg, DefaultsToZeroMeaningHardwareThreads) {
+  common::ArgParser args = make_args({});
+  const auto threads = bench::threads_arg(args);
+  ASSERT_TRUE(threads.has_value());
+  EXPECT_EQ(*threads, 0u);
+}
+
+TEST(ThreadsArg, AcceptsTheFullValidRange) {
+  for (const char* flag : {"--threads=1", "--threads=7", "--threads=4096"}) {
+    common::ArgParser args = make_args({flag});
+    EXPECT_TRUE(bench::threads_arg(args).has_value()) << flag;
+  }
+}
+
+TEST(ThreadsArg, RejectsOutOfRangeValues) {
+  for (const char* flag : {"--threads=-1", "--threads=4097",
+                           "--threads=1000000"}) {
+    common::ArgParser args = make_args({flag});
+    EXPECT_FALSE(bench::threads_arg(args).has_value()) << flag;
+  }
+}
+
+TEST(TaskTimeline, EmptyPathIsANoOpSuccess) {
+  EXPECT_TRUE(bench::write_task_timeline("{}", ""));
+}
+
+TEST(TaskTimeline, WritesTheBodyVerbatim) {
+  const std::string path = "bench_util_test_timeline.json";
+  const std::string body = "{\"bench\": \"t\", \"timeline\": []}\n";
+  ASSERT_TRUE(bench::write_task_timeline(body, path));
+  EXPECT_EQ(slurp(path), body);
+  std::remove(path.c_str());
+}
+
+TEST(TaskTimeline, UnwritablePathFailsLoudly) {
+  EXPECT_FALSE(
+      bench::write_task_timeline("{}", "no/such/dir/timeline.json"));
 }
 
 TEST(LoadMachine, ResolvesPresetsAndRejectsGarbage) {

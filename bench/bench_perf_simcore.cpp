@@ -277,23 +277,30 @@ HeteroOutcome run_hetero_graph(std::size_t workers, std::uint64_t accesses) {
 
 int main(int argc, char** argv) {
   common::ArgParser args(argc, argv);
-  const std::uint64_t max_mb = static_cast<std::uint64_t>(
-      args.get_int("max-mb", 512, "largest Fig. 2 working set in MiB"));
-  const std::uint64_t accesses = static_cast<std::uint64_t>(
-      args.get_int("accesses", 4 << 20, "hot-path accesses per pattern"));
+  const auto max_mb_opt = bench::bounded_int_arg(
+      args, "max-mb", 512, 1, 1 << 20, "largest Fig. 2 working set in MiB");
+  const auto accesses_opt = bench::bounded_int_arg(
+      args, "accesses", 4 << 20, 1, std::int64_t{1} << 40,
+      "hot-path accesses per pattern");
   const std::optional<std::size_t> threads_opt = bench::threads_arg(args);
-  const int reps = static_cast<int>(
-      args.get_int("reps", 5, "hot-path timing repetitions (best-of-N)"));
-  const std::uint64_t hetero_accesses = static_cast<std::uint64_t>(args.get_int(
-      "hetero-accesses", 1 << 17,
-      "measured accesses per task of the heterogeneous preset graph"));
+  const auto reps_opt = bench::bounded_int_arg(
+      args, "reps", 5, 1, 1000, "hot-path timing repetitions (best-of-N)");
+  const auto hetero_opt = bench::bounded_int_arg(
+      args, "hetero-accesses", 1 << 17, 1, std::int64_t{1} << 40,
+      "measured accesses per task of the heterogeneous preset graph");
   const std::string json_path = args.get_string(
       "json", "BENCH_perf_simcore.json", "machine-readable output file");
   const std::string task_json = bench::task_json_arg(args);
   const bool no_audit = bench::no_audit_arg(args);
   const std::string machine_sel = bench::machine_arg(args);
   if (auto exit_code = bench::finish_args(args)) return *exit_code;
-  if (!threads_opt) return 2;
+  if (!max_mb_opt || !accesses_opt || !reps_opt || !hetero_opt ||
+      !threads_opt)
+    return 2;
+  const auto max_mb = static_cast<std::uint64_t>(*max_mb_opt);
+  const auto accesses = static_cast<std::uint64_t>(*accesses_opt);
+  const int reps = static_cast<int>(*reps_opt);
+  const auto hetero_accesses = static_cast<std::uint64_t>(*hetero_opt);
   const std::size_t threads = *threads_opt;
 
   bench::print_header("Perf", "simulator hot-path and sweep-engine timing");

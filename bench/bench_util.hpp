@@ -81,6 +81,34 @@ inline std::optional<std::size_t> threads_arg(common::ArgParser& args) {
   return std::nullopt;
 }
 
+/// Declares an integer flag validated the way threads_arg validates
+/// `--threads`: a value that fails to parse ("10x", "abc") or falls
+/// outside [lo, hi] prints a diagnostic and returns nullopt — callers
+/// turn that into exit code 2 instead of crashing on an uncaught
+/// std::invalid_argument or silently running a nonsense configuration.
+inline std::optional<std::int64_t> bounded_int_arg(common::ArgParser& args,
+                                                   const std::string& name,
+                                                   std::int64_t def,
+                                                   std::int64_t lo,
+                                                   std::int64_t hi,
+                                                   const std::string& help) {
+  std::int64_t raw = 0;
+  try {
+    raw = args.get_int(name, def, help);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return std::nullopt;
+  }
+  if (raw < lo || raw > hi) {
+    std::fprintf(stderr,
+                 "error: --%s must be between %lld and %lld, got %lld\n",
+                 name.c_str(), static_cast<long long>(lo),
+                 static_cast<long long>(hi), static_cast<long long>(raw));
+    return std::nullopt;
+  }
+  return raw;
+}
+
 /// Declares the shared `--task-json` flag: where to dump the task
 /// engine's per-task timing timeline, "" (the default) meaning no
 /// artifact.

@@ -80,6 +80,48 @@ print("task timeline: schema OK (%d tasks, %d steals)"
       % (t["tasks"], t["steals"]))
 EOF
 
+# Trace record/replay gate: a workload recorded to the binary trace
+# format and replayed out-of-core must match the in-memory run bit for
+# bit — same clock, same stats, same counter file.
+./build/tools/p8trace record --workload=seq-scan --accesses=$((1 << 17)) \
+  --chunk-records=4096 --out=build/tier1_seq.p8t
+./build/tools/p8trace replay --in=build/tier1_seq.p8t --workload=seq-scan \
+  --counters=build/tier1_replay_counters.csv --json=build/tier1_replay.json
+./build/tools/p8trace run --workload=seq-scan --accesses=$((1 << 17)) \
+  --counters=build/tier1_run_counters.csv --json=build/tier1_run.json
+diff -u build/tier1_run_counters.csv build/tier1_replay_counters.csv
+python3 - build/tier1_replay.json build/tier1_run.json <<'EOF'
+import json, sys
+replay = json.load(open(sys.argv[1]))
+run = json.load(open(sys.argv[2]))
+for key in ("accesses", "busy_ns", "now_ns", "l1_fast_hits",
+            "prefetched_hits", "window_accesses", "window_ns"):
+    assert replay[key] == run[key], \
+        "replay/run diverge on %s: %r vs %r" % (key, replay[key], run[key])
+print("trace replay: bit-identical to in-memory run (%d accesses)"
+      % replay["accesses"])
+EOF
+
+# Out-of-core bound: replaying a 4x larger trace must not grow peak
+# RSS beyond noise — the file streams through a fixed-size chunk
+# buffer, so memory is bounded by the chunk, not the trace.
+./build/tools/p8trace record --workload=seq-scan --accesses=$((1 << 19)) \
+  --chunk-records=4096 --out=build/tier1_seq_big.p8t
+./build/tools/p8trace replay --in=build/tier1_seq_big.p8t \
+  --workload=seq-scan --json=build/tier1_replay_big.json
+python3 - build/tier1_replay.json build/tier1_replay_big.json <<'EOF'
+import json, sys
+small = json.load(open(sys.argv[1]))
+big = json.load(open(sys.argv[2]))
+assert big["accesses"] == 4 * small["accesses"], "trace sizes off"
+limit = small["max_rss_kb"] * 1.10 + 2048  # allocator/page-cache noise
+assert big["max_rss_kb"] <= limit, \
+    "replay RSS grew with trace size: %d KB (4x trace) vs %d KB" % (
+        big["max_rss_kb"], small["max_rss_kb"])
+print("trace replay RSS bounded: %d KB for the 4x trace vs %d KB"
+      % (big["max_rss_kb"], small["max_rss_kb"]))
+EOF
+
 # Fidelity gate: every modelled paper quantity inside its calibrated
 # tolerance (documented deviations report ALLOWED), counter identities
 # intact.  Non-zero exit on any new drift.
@@ -96,13 +138,16 @@ EOF
 ./build/bench/bench_fidelity_report --json build/BENCH_fidelity.json
 diff -u BENCH_fidelity.json build/BENCH_fidelity.json
 
-# Memory-safety pass: AddressSanitizer build of the counter layer and
-# the parallel sweep engine (the two places this repo shares registry
-# slots and fans work across threads).
+# Memory-safety pass: AddressSanitizer build of the counter layer, the
+# parallel sweep engine (the two places this repo shares registry
+# slots and fans work across threads) and the trace codec — the
+# corrupted-file rejection matrix must hold with ASan watching the
+# varint decoder and the mmap path.
 cmake -B build-asan -S . -DP8_SANITIZE=address
-cmake --build build-asan -j --target sim_counters_test sweep_test
+cmake --build build-asan -j --target sim_counters_test sweep_test trace_test
 ./build-asan/tests/sim_counters_test
 ./build-asan/tests/sweep_test
+./build-asan/tests/trace_test
 
 # Contract pass: a contracts-forced Debug build runs the parallel
 # sweep, audit and contract-macro tests with every P8_ENSURE /

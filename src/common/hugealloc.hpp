@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 
@@ -35,8 +36,11 @@ struct HugePageAllocator {
   static constexpr std::size_t kHugeBytes = 2ull << 20;
 
   T* allocate(std::size_t n) {
+    // n * sizeof(T) overflowing SIZE_MAX would wrap to a tiny
+    // allocation that the caller then indexes far past.
+    if (n > SIZE_MAX / sizeof(T)) throw std::bad_alloc();
     const std::size_t bytes = n * sizeof(T);
-    if (bytes >= kHugeBytes) {
+    if (bytes >= kHugeBytes && bytes <= SIZE_MAX - (kHugeBytes - 1)) {
       // Round to a whole number of huge pages: madvise-mode THP only
       // collapses fully-covered, aligned 2 MiB extents.
       const std::size_t rounded = (bytes + kHugeBytes - 1) & ~(kHugeBytes - 1);

@@ -65,8 +65,38 @@ class InflightTable {
   /// Removes `line` if present (backward-shift deletion keeps probe
   /// chains contiguous without tombstones).
   void erase(std::uint64_t line) {
-    std::size_t hole = slot_of(line);
+    const std::size_t hole = slot_of(line);
     if (hole == kNotFound) return;
+    erase_hole(hole);
+    P8_ENSURE(slot_of(line) == kNotFound,
+              "erase must leave no reachable slot for the erased line");
+  }
+
+  /// Removes the entry whose completion-time pointer `found` was just
+  /// returned by find() — the caller already paid for the lookup, so
+  /// the slot is recovered from the pointer instead of re-probing.
+  /// Valid only while no insert/erase/clear intervened.
+  void erase_found(const double* found) {
+    const auto hole = static_cast<std::size_t>(found - value_.data());
+    P8_INVARIANT(hole < key_.size() && key_[hole] != kEmpty,
+                 "erase_found requires a live pointer from find()");
+    erase_hole(hole);
+  }
+  void clear() {
+    std::fill(key_.begin(), key_.end(), kEmpty);
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  std::size_t hash(std::uint64_t line) const {
+    return static_cast<std::size_t>(line * 0x9e3779b97f4a7c15ULL >> shift_);
+  }
+
+  void erase_hole(std::size_t hole) {
     std::size_t probe = hole;
     for (;;) {
       probe = (probe + 1) & mask_;
@@ -84,22 +114,6 @@ class InflightTable {
     }
     key_[hole] = kEmpty;
     --size_;
-    P8_ENSURE(slot_of(line) == kNotFound,
-              "erase must leave no reachable slot for the erased line");
-  }
-
-  void clear() {
-    std::fill(key_.begin(), key_.end(), kEmpty);
-    size_ = 0;
-  }
-
- private:
-  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
-  static constexpr std::size_t kNotFound = ~std::size_t{0};
-  static constexpr std::size_t kInitialCapacity = 64;
-
-  std::size_t hash(std::uint64_t line) const {
-    return static_cast<std::size_t>(line * 0x9e3779b97f4a7c15ULL >> shift_);
   }
 
   std::size_t slot_of(std::uint64_t line) const {

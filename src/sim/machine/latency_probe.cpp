@@ -67,7 +67,7 @@ AccessTiming LatencyProbe::access_resolved(std::uint64_t addr,
     t.level = ServiceLevel::kL1;
     t.prefetched = true;
     memory_.install_prefetched(line);
-    inflight_.erase(line);
+    inflight_.erase_found(completion);
   } else {
     // A batch caller that already established the L1 miss (and
     // recorded the victim way) hands the walk straight to the levels
@@ -117,12 +117,18 @@ void LatencyProbe::access_batch(std::span<const std::uint64_t> addrs,
   const double fast_step =
       config_.hierarchy.latency.l1_ns + config_.compute_per_access_ns;
   std::uint64_t fast = 0;
+  std::uint64_t fast_pref = 0;
   std::uint64_t prefetched = 0;
 
   // Knowing the future is what the batch path buys: hint the host CPU
   // about the set arrays a few addresses ahead, so by the time the
   // walk reaches them the (host-LLC-dwarfing) victim/L4 arrays are
-  // resident.  Hints read no simulator state and write none.
+  // resident.  Hints read no simulator state and write none, and they
+  // only pay for themselves when the walk actually scans those arrays
+  // — so they are issued from the slow-path iterations, not for the
+  // short-circuited ones (a unit-stride scan with the prefetcher on
+  // never leaves the fast path and was paying ~6 host prefetches per
+  // access for set arrays it never read).
   constexpr std::size_t kLookahead = 8;
   const std::size_t n = addrs.size();
 
@@ -131,8 +137,6 @@ void LatencyProbe::access_batch(std::span<const std::uint64_t> addrs,
     // a depth-0 engine never issues any — the table stays empty for
     // the whole chunk, so the per-access in-flight probe is dropped.
     for (std::size_t i = 0; i < n; ++i) {
-      if (i + kLookahead < n)
-        memory_.prefetch_sets(addrs[i + kLookahead] & line_mask_);
       const std::uint64_t addr = addrs[i];
       const std::uint64_t line = addr & line_mask_;
       SetAssocCache::Slot l1_slot;
@@ -141,6 +145,8 @@ void LatencyProbe::access_batch(std::span<const std::uint64_t> addrs,
         now_ns_ += fast_step;
         continue;
       }
+      if (i + kLookahead < n)
+        memory_.prefetch_sets(addrs[i + kLookahead] & line_mask_);
       // When the fast path died on the L1 scan, the recorded slot
       // spares the fallback walk from scanning the set again.
       prefetched +=
@@ -149,8 +155,6 @@ void LatencyProbe::access_batch(std::span<const std::uint64_t> addrs,
     }
   } else {
     for (std::size_t i = 0; i < n; ++i) {
-      if (i + kLookahead < n)
-        memory_.prefetch_sets(addrs[i + kLookahead] & line_mask_);
       const std::uint64_t addr = addrs[i];
       const std::uint64_t line = addr & line_mask_;
       SetAssocCache::Slot l1_slot;
@@ -160,8 +164,27 @@ void LatencyProbe::access_batch(std::span<const std::uint64_t> addrs,
       // result is also still valid inside the fallback (nothing below
       // mutates the table first), so it is taken once and handed down.
       const double* completion = inflight_.find(line);
-      if (completion == nullptr && tlb_.last_page_matches(addr) &&
-          memory_.l1_touch_slot(line, l1_slot)) {
+      if (completion != nullptr) {
+        if (tlb_.last_page_matches(addr)) {
+          // Prefetched-completion fast path: a covered line on the
+          // current page charges exactly what access_resolved would —
+          // zero ERAT penalty plus l1_ns plus the fill residual — with
+          // the same state updates in the same order, but without the
+          // translate call, the set hints, or per-access counters.
+          // This is the steady state of a prefetched sequential scan.
+          const double residual = std::max(0.0, *completion - now_ns_);
+          memory_.install_prefetched(line);
+          inflight_.erase_found(completion);
+          engine_.on_access(line, requests_);
+          launch(requests_);
+          const double latency =
+              config_.hierarchy.latency.l1_ns + residual;
+          now_ns_ += latency + config_.compute_per_access_ns;
+          ++fast_pref;
+          continue;
+        }
+      } else if (tlb_.last_page_matches(addr) &&
+                 memory_.l1_touch_slot(line, l1_slot)) {
         ++fast;
         // Same event order as access_slow: the engine sees the access
         // and launches at the *pre-access* clock, then time advances.
@@ -170,26 +193,29 @@ void LatencyProbe::access_batch(std::span<const std::uint64_t> addrs,
         now_ns_ += fast_step;
         continue;
       }
+      if (i + kLookahead < n)
+        memory_.prefetch_sets(addrs[i + kLookahead] & line_mask_);
       prefetched += access_resolved(addr, line, completion,
                                     l1_slot.recorded ? &l1_slot : nullptr)
                         .prefetched;
     }
   }
 
-  if (fast != 0) {
+  if (fast != 0 || fast_pref != 0) {
     // Chunk-aggregated counter updates for the short-circuited
     // accesses; the slow path counted its own per access.
-    tlb_.add_batched_erat_hits(fast);
-    memory_.add_batched_l1_load_hits(fast);
-    events_.accesses.add(fast);
+    tlb_.add_batched_erat_hits(fast + fast_pref);
+    if (fast != 0) memory_.add_batched_l1_load_hits(fast);
+    events_.accesses.add(fast + fast_pref);
+    if (fast_pref != 0) events_.prefetched.add(fast_pref);
   }
   P8_ENSURE(now_ns_ >= t0,
             "replaying a chunk must never move the probe clock backwards");
-  P8_ENSURE(fast <= addrs.size(),
+  P8_ENSURE(fast + fast_pref <= addrs.size(),
             "the fast path cannot claim more accesses than the chunk holds");
   stats.accesses += addrs.size();
   stats.l1_fast_hits += fast;
-  stats.prefetched_hits += prefetched;
+  stats.prefetched_hits += prefetched + fast_pref;
   stats.busy_ns += now_ns_ - t0;
 }
 

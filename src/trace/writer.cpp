@@ -1,0 +1,161 @@
+#include "trace/writer.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace p8::trace {
+
+namespace {
+
+/// Zigzag-encodes a signed delta so small negative deltas stay small.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xff);
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xff);
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, const Options& options)
+    : path_(path), options_(options) {
+  P8_REQUIRE(options_.chunk_records >= 1,
+             "a trace chunk must hold at least one record");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr)
+    throw TraceError(path, std::string("cannot open for writing: ") +
+                               std::strerror(errno),
+                     0);
+  std::vector<unsigned char> header;
+  header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u32(header, kVersion);
+  put_u32(header, options_.chunk_records);
+  put_u64(header, 0);  // total_records, patched by finish()
+  put_u64(header, 0);  // total_accesses, patched by finish()
+  write_raw(header.data(), header.size());
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceWriter::write_raw(const void* data, std::size_t len) {
+  if (std::fwrite(data, 1, len, file_) != len)
+    throw TraceError(path_, std::string("write failed: ") +
+                                std::strerror(errno),
+                     file_bytes_);
+  file_bytes_ += len;
+}
+
+void TraceWriter::write_bytes(const void* data, std::size_t len) {
+  // The footer checksum covers chunks + directory; the header is
+  // excluded because finish() patches its record totals in place
+  // (every header field is individually validated by the reader and
+  // cross-checked against the directory sums instead).
+  checksum_ = fnv1a(data, len, checksum_);
+  write_raw(data, len);
+}
+
+void TraceWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    chunk_.push_back(static_cast<unsigned char>(v) | 0x80);
+    v >>= 7;
+  }
+  chunk_.push_back(static_cast<unsigned char>(v));
+}
+
+void TraceWriter::put_key(std::uint64_t payload, TraceOp op) {
+  P8_REQUIRE(!finished_, "no records may follow finish()");
+  put_varint((payload << 2) | static_cast<std::uint64_t>(op));
+}
+
+void TraceWriter::access(std::uint64_t addr) {
+  put_key(zigzag(static_cast<std::int64_t>(addr - prev_addr_)),
+          TraceOp::kAccess);
+  prev_addr_ = addr;
+  ++chunk_access_count_;
+  ++accesses_;
+  record_boundary();
+}
+
+void TraceWriter::dcbt_hint(std::uint64_t start, std::uint64_t length_bytes,
+                            bool descending) {
+  put_key(zigzag(static_cast<std::int64_t>(start - prev_addr_)),
+          TraceOp::kDcbtHint);
+  put_varint(length_bytes);
+  chunk_.push_back(descending ? 1 : 0);
+  prev_addr_ = start;
+  record_boundary();
+}
+
+void TraceWriter::dcbt_stop(std::uint64_t addr) {
+  put_key(zigzag(static_cast<std::int64_t>(addr - prev_addr_)),
+          TraceOp::kDcbtStop);
+  prev_addr_ = addr;
+  record_boundary();
+}
+
+void TraceWriter::mark(std::uint64_t id) {
+  put_key(id, TraceOp::kMark);
+  record_boundary();
+}
+
+void TraceWriter::record_boundary() {
+  ++chunk_record_count_;
+  ++records_;
+  if (chunk_record_count_ >= options_.chunk_records) end_chunk();
+}
+
+void TraceWriter::end_chunk() {
+  if (chunk_record_count_ == 0) return;
+  dir_.push_back({file_bytes_, chunk_record_count_, chunk_access_count_});
+  write_bytes(chunk_.data(), chunk_.size());
+  chunk_.clear();
+  chunk_record_count_ = 0;
+  chunk_access_count_ = 0;
+  prev_addr_ = 0;  // chunks decode independently
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  end_chunk();
+  const std::uint64_t dir_offset = file_bytes_;
+  std::vector<unsigned char> tail;
+  tail.reserve(dir_.size() * kDirEntryBytes + kFooterBytes);
+  for (const DirEntry& e : dir_) {
+    put_u64(tail, e.offset);
+    put_u32(tail, e.records);
+    put_u32(tail, e.accesses);
+  }
+  write_bytes(tail.data(), tail.size());
+  std::vector<unsigned char> footer;
+  put_u64(footer, dir_offset);
+  put_u64(footer, dir_.size());
+  put_u64(footer, checksum_);
+  footer.insert(footer.end(), kEndMagic, kEndMagic + sizeof(kEndMagic));
+  write_raw(footer.data(), footer.size());
+  // Patch the header's record totals in place.
+  std::vector<unsigned char> totals;
+  put_u64(totals, records_);
+  put_u64(totals, accesses_);
+  if (std::fseek(file_, 16, SEEK_SET) != 0 ||
+      std::fwrite(totals.data(), 1, totals.size(), file_) != totals.size())
+    throw TraceError(path_, "cannot patch header totals", 16);
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0)
+    throw TraceError(path_, std::string("close failed: ") +
+                                std::strerror(errno),
+                     file_bytes_);
+  finished_ = true;
+}
+
+}  // namespace p8::trace

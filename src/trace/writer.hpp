@@ -1,0 +1,84 @@
+// TraceWriter: streams a workload's access stream into the chunked
+// binary trace format (see trace.hpp for the layout).  Memory use is
+// one encoded chunk plus the (16-byte-per-chunk) directory; the record
+// stream itself never materializes.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace p8::trace {
+
+struct WriterOptions {
+  /// Records per chunk; also the bound on a reader's decode buffer.
+  std::uint32_t chunk_records = kDefaultChunkRecords;
+};
+
+class TraceWriter final : public TraceSink {
+ public:
+  using Options = WriterOptions;
+
+  /// Opens `path` for writing and emits the header.  Throws TraceError
+  /// when the file cannot be created.
+  explicit TraceWriter(const std::string& path,
+                       const Options& options = Options());
+
+  /// Closes the file.  If finish() was never called the file is left
+  /// WITHOUT a directory/footer, and any reader will reject it — a
+  /// half-written trace can never replay short silently.
+  ~TraceWriter() override;
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void access(std::uint64_t addr) override;
+  void dcbt_hint(std::uint64_t start, std::uint64_t length_bytes,
+                 bool descending) override;
+  void dcbt_stop(std::uint64_t addr) override;
+  void mark(std::uint64_t id) override;
+
+  /// Flushes the open chunk, writes the directory and footer and
+  /// closes the file.  Idempotent; no records may follow.
+  void finish();
+
+  std::uint64_t records() const { return records_; }
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t chunks() const {
+    return dir_.size() + (chunk_record_count_ ? 1 : 0);
+  }
+  /// Bytes emitted so far (header + closed chunks + the open chunk).
+  std::uint64_t bytes() const { return file_bytes_ + chunk_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct DirEntry {
+    std::uint64_t offset = 0;
+    std::uint32_t records = 0;
+    std::uint32_t accesses = 0;
+  };
+
+  void put_varint(std::uint64_t v);
+  void put_key(std::uint64_t payload, TraceOp op);
+  void record_boundary();  ///< closes the chunk when it is full
+  void end_chunk();        ///< writes the buffered chunk to the file
+  void write_raw(const void* data, std::size_t len);
+  void write_bytes(const void* data, std::size_t len);  ///< raw + checksum
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  Options options_;
+  std::vector<unsigned char> chunk_;  ///< encoded bytes of the open chunk
+  std::vector<DirEntry> dir_;
+  std::uint64_t prev_addr_ = 0;  ///< delta predictor, reset per chunk
+  std::uint32_t chunk_record_count_ = 0;
+  std::uint32_t chunk_access_count_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t file_bytes_ = 0;  ///< bytes handed to fwrite so far
+  std::uint64_t checksum_ = kFnvOffset;
+  bool finished_ = false;
+};
+
+}  // namespace p8::trace

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
-#include <span>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "trace/replay.hpp"
 
 namespace p8::ubench {
 
@@ -30,22 +30,24 @@ std::vector<std::uint32_t> single_cycle_permutation(std::uint64_t n,
   return next;
 }
 
+/// ns per access over the window from the measure mark to the end of
+/// the replay: (clock advance) / (accesses past the mark).
+template <typename Sink>
+double window_latency_ns(const sim::LatencyProbe& probe, const Sink& sink,
+                         std::uint64_t total_accesses) {
+  const auto mark = sink.find_mark(kMarkMeasureStart);
+  P8_REQUIRE(mark.has_value(), "trace carries no measure mark");
+  const std::uint64_t measured = total_accesses - mark->accesses;
+  P8_REQUIRE(measured >= 1, "empty measurement window");
+  return (probe.now_ns() - mark->now_ns) / static_cast<double>(measured);
+}
+
 }  // namespace
 
-double chase_latency_ns(const sim::Machine& machine,
-                        const ChaseOptions& options) {
-  const std::uint64_t line = machine.spec().processor.cache_line_bytes;
+void emit_chase_trace(std::uint64_t line_bytes, const ChaseOptions& options,
+                      trace::TraceSink& sink) {
   const std::uint64_t lines = std::max<std::uint64_t>(
-      1, options.working_set_bytes / line);
-
-  sim::ProbeOptions probe_options;
-  probe_options.page_bytes = options.page_bytes;
-  probe_options.dscr = options.dscr;
-  probe_options.stride_n = options.stride_n;
-  probe_options.home_chip = options.home_chip;
-  probe_options.consumer_chip = options.consumer_chip;
-  probe_options.counters = options.counters;
-  sim::LatencyProbe probe = machine.probe(probe_options);
+      1, options.working_set_bytes / line_bytes);
 
   // Build the chase chain: next[i] is the line visited after line i.
   std::vector<std::uint32_t> next;
@@ -79,35 +81,45 @@ double chase_latency_ns(const sim::Machine& machine,
   const std::uint64_t measure =
       std::max<std::uint64_t>(1, std::min(options.measure_accesses, lines));
 
-  if (options.batched) {
-    // The chain is fixed, so the whole replay can be materialized once
-    // into a flat address buffer and fed through the batch path — the
-    // warm/measure split lands on a chunk boundary so the measured
-    // clock window is the same one the scalar loop reads.
-    std::vector<std::uint64_t> trace(warm + measure);
-    std::uint64_t pos = 0;
-    for (std::uint64_t i = 0; i < trace.size(); ++i) {
-      trace[i] = pos * line;
-      pos = next[pos];
-    }
-    sim::BatchStats stats;
-    probe.access_batch(std::span(trace).first(warm), stats);
-    const double t0 = probe.now_ns();
-    probe.access_batch(std::span(trace).subspan(warm), stats);
-    return (probe.now_ns() - t0) / static_cast<double>(measure);
-  }
-
   std::uint64_t pos = 0;
   for (std::uint64_t i = 0; i < warm; ++i) {
-    probe.access(pos * line);
+    sink.access(pos * line_bytes);
     pos = next[pos];
   }
-  const double t0 = probe.now_ns();
+  sink.mark(kMarkMeasureStart);
   for (std::uint64_t i = 0; i < measure; ++i) {
-    probe.access(pos * line);
+    sink.access(pos * line_bytes);
     pos = next[pos];
   }
-  return (probe.now_ns() - t0) / static_cast<double>(measure);
+}
+
+double chase_latency_ns(const sim::Machine& machine,
+                        const ChaseOptions& options) {
+  const std::uint64_t line = machine.spec().processor.cache_line_bytes;
+
+  sim::ProbeOptions probe_options;
+  probe_options.page_bytes = options.page_bytes;
+  probe_options.dscr = options.dscr;
+  probe_options.stride_n = options.stride_n;
+  probe_options.home_chip = options.home_chip;
+  probe_options.consumer_chip = options.consumer_chip;
+  probe_options.counters = options.counters;
+  sim::LatencyProbe probe = machine.probe(probe_options);
+
+  // One generator drives both paths: the stream flows through a
+  // TraceSink, chunked into access_batch (batched) or one access() per
+  // load (scalar).  The batch path is pinned bit-identical at any
+  // chunk split, so the two agree double for double.
+  if (options.batched) {
+    trace::ChunkedReplayer sink(probe);
+    emit_chase_trace(line, options, sink);
+    sink.flush();
+    return window_latency_ns(probe, sink, sink.stats().accesses);
+  }
+
+  trace::ScalarReplayer sink(probe);
+  emit_chase_trace(line, options, sink);
+  return window_latency_ns(probe, sink, sink.accesses());
 }
 
 std::vector<LatencyPoint> memory_latency_scan(
@@ -142,9 +154,23 @@ std::vector<LatencyPoint> memory_latency_scan(
       });
 }
 
+void emit_stride_trace(std::uint64_t line_bytes, const StrideOptions& options,
+                       trace::TraceSink& sink) {
+  P8_REQUIRE(options.stride_lines >= 1, "stride must be positive");
+  P8_REQUIRE(options.accesses >= 1, "empty stride scan");
+  const std::uint64_t step = options.stride_lines * line_bytes;
+  // Skip the ramp-up so we report the steady state, like the figure.
+  const std::uint64_t skip = options.accesses / 10;
+  std::uint64_t addr = 0;
+  for (std::uint64_t i = 0; i < options.accesses; ++i) {
+    if (i == skip) sink.mark(kMarkMeasureStart);
+    sink.access(addr);
+    addr += step;
+  }
+}
+
 double stride_latency_ns(const sim::Machine& machine,
                          const StrideOptions& options) {
-  P8_REQUIRE(options.stride_lines >= 1, "stride must be positive");
   const std::uint64_t line = machine.spec().processor.cache_line_bytes;
 
   sim::ProbeOptions probe_options;
@@ -154,52 +180,24 @@ double stride_latency_ns(const sim::Machine& machine,
   probe_options.counters = options.counters;
   sim::LatencyProbe probe = machine.probe(probe_options);
 
-  // Scan forward touching every stride_lines-th line; the footprint is
-  // unbounded (each line touched once), so every access is a DRAM miss
-  // unless the prefetcher covers it.
-  const std::uint64_t step = options.stride_lines * line;
-  // Skip the ramp-up so we report the steady state, like the figure.
-  const std::uint64_t skip = options.accesses / 10;
-
   if (options.batched) {
-    std::vector<std::uint64_t> trace(options.accesses);
-    std::uint64_t addr = 0;
-    for (std::uint64_t i = 0; i < trace.size(); ++i) {
-      trace[i] = addr;
-      addr += step;
-    }
-    sim::BatchStats stats;
-    probe.access_batch(std::span(trace).first(skip), stats);
-    const double t0 = probe.now_ns();
-    probe.access_batch(std::span(trace).subspan(skip), stats);
-    return (probe.now_ns() - t0) /
-           static_cast<double>(options.accesses - skip);
+    trace::ChunkedReplayer sink(probe);
+    emit_stride_trace(line, options, sink);
+    sink.flush();
+    return window_latency_ns(probe, sink, sink.stats().accesses);
   }
 
-  std::uint64_t addr = 0;
-  double t0 = 0.0;
-  for (std::uint64_t i = 0; i < options.accesses; ++i) {
-    if (i == skip) t0 = probe.now_ns();
-    probe.access(addr);
-    addr += step;
-  }
-  return (probe.now_ns() - t0) /
-         static_cast<double>(options.accesses - skip);
+  trace::ScalarReplayer sink(probe);
+  emit_stride_trace(line, options, sink);
+  return window_latency_ns(probe, sink, sink.accesses());
 }
 
-double dcbt_block_bandwidth_gbs(const sim::Machine& machine,
-                                const DcbtOptions& options) {
-  const std::uint64_t line = machine.spec().processor.cache_line_bytes;
-  P8_REQUIRE(options.block_bytes >= line, "block smaller than a line");
-  const std::uint64_t lines_per_block = options.block_bytes / line;
+void emit_dcbt_trace(std::uint64_t line_bytes, const DcbtOptions& options,
+                     trace::TraceSink& sink) {
+  P8_REQUIRE(options.block_bytes >= line_bytes, "block smaller than a line");
+  const std::uint64_t lines_per_block = options.block_bytes / line_bytes;
   const std::uint64_t blocks =
       std::max<std::uint64_t>(1, options.total_bytes / options.block_bytes);
-
-  sim::ProbeOptions probe_options;
-  probe_options.page_bytes = options.page_bytes;
-  probe_options.dscr = options.dscr;
-  probe_options.counters = options.counters;
-  sim::LatencyProbe probe = machine.probe(probe_options);
 
   // Random visiting order over blocks.
   std::vector<std::uint64_t> order(blocks);
@@ -210,43 +208,149 @@ double dcbt_block_bandwidth_gbs(const sim::Machine& machine,
     std::swap(order[i], order[j]);
   }
 
-  const double t0 = probe.now_ns();
-  std::uint64_t bytes = 0;
-  if (options.batched) {
-    // One flat buffer holds the whole walk in visiting order; each
-    // block's interior replays as one chunk between its DCBT hint and
-    // stop, so the hint ordering matches the scalar loop exactly.
-    std::vector<std::uint64_t> trace;
-    trace.reserve(blocks * lines_per_block);
-    for (const std::uint64_t b : order) {
-      const std::uint64_t base = b * options.block_bytes;
-      for (std::uint64_t l = 0; l < lines_per_block; ++l)
-        trace.push_back(base + l * line);
-    }
-    sim::BatchStats stats;
-    for (std::uint64_t i = 0; i < blocks; ++i) {
-      const std::uint64_t base = order[i] * options.block_bytes;
-      if (options.use_dcbt) probe.dcbt_hint(base, options.block_bytes);
-      probe.access_batch(
-          std::span(trace).subspan(i * lines_per_block, lines_per_block),
-          stats);
-      if (options.use_dcbt)
-        probe.dcbt_stop(base + (lines_per_block - 1) * line);
-      bytes += options.block_bytes;
-    }
-  } else {
-    for (const std::uint64_t b : order) {
-      const std::uint64_t base = b * options.block_bytes;
-      if (options.use_dcbt) probe.dcbt_hint(base, options.block_bytes);
-      for (std::uint64_t l = 0; l < lines_per_block; ++l)
-        probe.access(base + l * line);
-      if (options.use_dcbt)
-        probe.dcbt_stop(base + (lines_per_block - 1) * line);
-      bytes += options.block_bytes;
-    }
+  sink.mark(kMarkMeasureStart);
+  for (const std::uint64_t b : order) {
+    const std::uint64_t base = b * options.block_bytes;
+    if (options.use_dcbt)
+      sink.dcbt_hint(base, options.block_bytes, /*descending=*/false);
+    for (std::uint64_t l = 0; l < lines_per_block; ++l)
+      sink.access(base + l * line_bytes);
+    if (options.use_dcbt)
+      sink.dcbt_stop(base + (lines_per_block - 1) * line_bytes);
   }
+}
+
+double dcbt_block_bandwidth_gbs(const sim::Machine& machine,
+                                const DcbtOptions& options) {
+  const std::uint64_t line = machine.spec().processor.cache_line_bytes;
+  const std::uint64_t blocks =
+      std::max<std::uint64_t>(1, options.total_bytes / options.block_bytes);
+
+  sim::ProbeOptions probe_options;
+  probe_options.page_bytes = options.page_bytes;
+  probe_options.dscr = options.dscr;
+  probe_options.counters = options.counters;
+  sim::LatencyProbe probe = machine.probe(probe_options);
+
+  double t0 = 0.0;
+  if (options.batched) {
+    trace::ChunkedReplayer sink(probe);
+    emit_dcbt_trace(line, options, sink);
+    sink.flush();
+    t0 = sink.find_mark(kMarkMeasureStart)->now_ns;
+  } else {
+    trace::ScalarReplayer sink(probe);
+    emit_dcbt_trace(line, options, sink);
+    t0 = sink.find_mark(kMarkMeasureStart)->now_ns;
+  }
+  const std::uint64_t bytes = blocks * options.block_bytes;
   const double elapsed_ns = probe.now_ns() - t0;
   return static_cast<double>(bytes) / elapsed_ns;  // bytes/ns == GB/s
+}
+
+namespace {
+
+std::uint64_t line_bytes_of(const sim::Machine& machine) {
+  return machine.spec().processor.cache_line_bytes;
+}
+
+std::vector<TraceWorkload> build_trace_workloads() {
+  std::vector<TraceWorkload> v;
+
+  {
+    TraceWorkload w;
+    w.name = "chase";
+    w.description =
+        "lmbench random pointer chase, 16 MB working set, prefetch off";
+    ChaseOptions o;
+    o.working_set_bytes = 16ull << 20;
+    w.probe_options.page_bytes = o.page_bytes;
+    w.probe_options.dscr = o.dscr;
+    w.emit = [o](const sim::Machine& m, std::uint64_t hint,
+                 trace::TraceSink& s) {
+      ChaseOptions c = o;
+      if (hint != 0) c.measure_accesses = hint;
+      emit_chase_trace(line_bytes_of(m), c, s);
+    };
+    v.push_back(std::move(w));
+  }
+  {
+    TraceWorkload w;
+    w.name = "seq-scan";
+    w.description = "unit-stride scan on 16 MB pages, default prefetch depth";
+    StrideOptions o;
+    o.stride_lines = 1;
+    o.accesses = 1u << 20;
+    w.probe_options.page_bytes = o.page_bytes;
+    w.probe_options.dscr = o.dscr;
+    w.emit = [o](const sim::Machine& m, std::uint64_t hint,
+                 trace::TraceSink& s) {
+      StrideOptions c = o;
+      if (hint != 0) c.accesses = hint;
+      emit_stride_trace(line_bytes_of(m), c, s);
+    };
+    v.push_back(std::move(w));
+  }
+  {
+    TraceWorkload w;
+    w.name = "stride";
+    w.description = "stride-256 scan on 16 MB pages (Fig. 7 setup)";
+    StrideOptions o;
+    w.probe_options.page_bytes = o.page_bytes;
+    w.probe_options.dscr = o.dscr;
+    w.emit = [o](const sim::Machine& m, std::uint64_t hint,
+                 trace::TraceSink& s) {
+      StrideOptions c = o;
+      if (hint != 0) c.accesses = hint;
+      emit_stride_trace(line_bytes_of(m), c, s);
+    };
+    v.push_back(std::move(w));
+  }
+  {
+    TraceWorkload w;
+    w.name = "dcbt";
+    w.description = "random 2 KB block walk, no stream hints (Fig. 8)";
+    DcbtOptions o;
+    w.probe_options.page_bytes = o.page_bytes;
+    w.probe_options.dscr = o.dscr;
+    w.emit = [o](const sim::Machine& m, std::uint64_t hint,
+                 trace::TraceSink& s) {
+      DcbtOptions c = o;
+      if (hint != 0) c.total_bytes = hint * line_bytes_of(m);
+      emit_dcbt_trace(line_bytes_of(m), c, s);
+    };
+    v.push_back(std::move(w));
+  }
+  {
+    TraceWorkload w;
+    w.name = "dcbt-hint";
+    w.description = "random 2 KB block walk with DCBT stream hints (Fig. 8)";
+    DcbtOptions o;
+    o.use_dcbt = true;
+    w.probe_options.page_bytes = o.page_bytes;
+    w.probe_options.dscr = o.dscr;
+    w.emit = [o](const sim::Machine& m, std::uint64_t hint,
+                 trace::TraceSink& s) {
+      DcbtOptions c = o;
+      if (hint != 0) c.total_bytes = hint * line_bytes_of(m);
+      emit_dcbt_trace(line_bytes_of(m), c, s);
+    };
+    v.push_back(std::move(w));
+  }
+  return v;
+}
+
+}  // namespace
+
+const std::vector<TraceWorkload>& trace_workloads() {
+  static const std::vector<TraceWorkload> registry = build_trace_workloads();
+  return registry;
+}
+
+const TraceWorkload* find_trace_workload(const std::string& name) {
+  for (const TraceWorkload& w : trace_workloads())
+    if (w.name == name) return &w;
+  return nullptr;
 }
 
 }  // namespace p8::ubench

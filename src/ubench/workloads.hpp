@@ -15,12 +15,19 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/machine/machine.hpp"
 #include "sim/machine/sweep.hpp"
+#include "trace/trace.hpp"
 
 namespace p8::ubench {
+
+/// Mark id every generator emits at its warm→measure boundary, so a
+/// recorded trace carries the measurement window inside itself.
+inline constexpr std::uint64_t kMarkMeasureStart = 1;
 
 /// Chain layout for the pointer chase, mirroring lmbench's choices:
 /// a random single-cycle permutation (the default; defeats any
@@ -121,5 +128,47 @@ struct DcbtOptions {
 /// stream hint is issued at each block start and stopped at its end.
 double dcbt_block_bandwidth_gbs(const sim::Machine& machine,
                                 const DcbtOptions& options);
+
+// ---------------------------------------------------------------------------
+// Trace emission.  Each generator produces its exact access stream —
+// the same addresses, in the same order, with a kMarkMeasureStart mark
+// at the warm→measure boundary — through a TraceSink.  The batched
+// drivers above feed a ChunkedReplayer; `p8trace record` feeds a
+// TraceWriter; both see one stream, never materialized.
+
+/// The pointer chase of chase_latency_ns (warm laps, mark, measured
+/// laps).  `line_bytes` is the machine's cache-line size.
+void emit_chase_trace(std::uint64_t line_bytes, const ChaseOptions& options,
+                      trace::TraceSink& sink);
+
+/// The strided scan of stride_latency_ns (ramp-up skip, mark, steady
+/// state).
+void emit_stride_trace(std::uint64_t line_bytes, const StrideOptions& options,
+                       trace::TraceSink& sink);
+
+/// The random-block walk of dcbt_block_bandwidth_gbs (mark at t0, then
+/// per block: optional DCBT hint, the block's lines, optional stop).
+void emit_dcbt_trace(std::uint64_t line_bytes, const DcbtOptions& options,
+                     trace::TraceSink& sink);
+
+/// A named, recordable workload for the p8trace CLI: the probe
+/// configuration it runs under and its trace generator.
+struct TraceWorkload {
+  std::string name;
+  std::string description;
+  sim::ProbeOptions probe_options;
+  /// Emits the stream.  `accesses_hint` scales the workload's primary
+  /// size knob when nonzero (exact meaning is workload-specific);
+  /// 0 keeps the registered defaults.
+  std::function<void(const sim::Machine& machine, std::uint64_t accesses_hint,
+                     trace::TraceSink& sink)>
+      emit;
+};
+
+/// The registry `p8trace record --workload=` resolves against.
+const std::vector<TraceWorkload>& trace_workloads();
+
+/// Lookup by name; nullptr when unknown.
+const TraceWorkload* find_trace_workload(const std::string& name);
 
 }  // namespace p8::ubench

@@ -10,6 +10,7 @@
 
 #include "common/cli.hpp"
 #include "common/contract.hpp"
+#include "common/hugealloc.hpp"
 #include "common/partition.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -464,6 +465,29 @@ TEST(Cli, SuggestFindsNearbyDeclaredOption) {
   EXPECT_EQ(p.suggest("mahcine"), "machine");   // transposed pair
   EXPECT_EQ(p.suggest("treads"), "threads");    // one deletion
   EXPECT_EQ(p.suggest("verbose"), "");          // nothing close
+}
+
+// ------------------------------------------------------- huge alloc ----
+
+TEST(HugePageAllocator, OverflowingElementCountThrowsBadAlloc) {
+  // n * sizeof(T) would wrap around SIZE_MAX; before the guard this
+  // handed a tiny block to a caller about to index gigabytes past it.
+  HugePageAllocator<std::uint64_t> alloc;
+  const std::size_t overflowing = SIZE_MAX / sizeof(std::uint64_t) + 1;
+  EXPECT_THROW((void)alloc.allocate(overflowing), std::bad_alloc);
+  EXPECT_THROW((void)alloc.allocate(SIZE_MAX), std::bad_alloc);
+}
+
+TEST(HugePageAllocator, SmallAndZeroAllocationsStillWork) {
+  HugePageAllocator<std::uint64_t> alloc;
+  std::uint64_t* p = alloc.allocate(16);
+  ASSERT_NE(p, nullptr);
+  p[0] = 42;
+  p[15] = 7;
+  alloc.deallocate(p, 16);
+  std::uint64_t* z = alloc.allocate(0);
+  ASSERT_NE(z, nullptr);
+  alloc.deallocate(z, 0);
 }
 
 // ------------------------------------------------------------ contracts ----

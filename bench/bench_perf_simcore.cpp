@@ -22,7 +22,11 @@
 //    checksum, all into ONE sim::TaskEngine graph, timed on a 1-worker
 //    and a 4-worker pool.  This is the workload the work-stealing
 //    engine exists for — five machines of wildly different cost
-//    overlapping instead of running strictly one after another.
+//    overlapping instead of running strictly one after another, and
+//  * throughput of the closed-form analytic tier (predict_queries_per_s):
+//    chase-latency queries answered by sim::Predictor without touching
+//    the event simulator — the fast path bench_predict differentially
+//    validates.
 //
 // Results are printed as a table and written as machine-readable JSON
 // (default BENCH_perf_simcore.json) so the perf trajectory is tracked
@@ -43,6 +47,7 @@
 #include "common/threading.hpp"
 #include "common/timer.hpp"
 #include "common/units.hpp"
+#include "predict/machine_predict.hpp"
 #include "sim/machine/machine.hpp"
 #include "sim/machine/spec.hpp"
 #include "sim/machine/sweep.hpp"
@@ -152,6 +157,26 @@ std::uint64_t sweep_checksum(const std::vector<ubench::LatencyPoint>& pts) {
     h = fnv1a(&p.latency_ns, sizeof(p.latency_ns), h);
   }
   return h;
+}
+
+/// Closed-form analytic tier throughput: chase-latency queries over 64
+/// footprints spanning the latency staircase, visited round-robin
+/// (same burst bench_predict gates against the simulator's pace).
+double predict_queries_per_s(const predict::Predictor& predictor) {
+  std::vector<std::uint64_t> footprints;
+  const std::uint64_t lo = 16 * 1024;
+  const std::uint64_t hi =
+      predictor.level(predictor.level_count() - 2).capacity_bytes * 4;
+  for (std::size_t i = 0; i < 64; ++i)
+    footprints.push_back(lo + (hi - lo) / 63 * static_cast<std::uint64_t>(i));
+  const std::size_t n = 1u << 21;
+  double acc = 0.0;
+  common::Timer timer;
+  for (std::size_t i = 0; i < n; ++i)
+    acc += predictor.chase_latency_ns(footprints[i & 63]);
+  const double seconds = timer.seconds();
+  if (!(acc > 0.0)) std::fprintf(stderr, "warning: degenerate query burst\n");
+  return static_cast<double>(n) / seconds;
 }
 
 /// Fig. 2 sweep through a SweepRunner with `workers` workers; returns
@@ -349,6 +374,10 @@ int main(int argc, char** argv) {
   // bit.
   const HeteroOutcome hetero_serial = run_hetero_graph(1, hetero_accesses);
   const HeteroOutcome hetero_par = run_hetero_graph(4, hetero_accesses);
+
+  // The analytic fast path, for the same machine the hot paths ran on.
+  const predict::Predictor predictor(*machine_spec);
+  const double predict_qps = predict_queries_per_s(predictor);
   const bool hetero_identical =
       hetero_serial.checksum == hetero_par.checksum;
   const double hetero_speedup =
@@ -387,6 +416,8 @@ int main(int argc, char** argv) {
   t.add_row({"hetero graph speedup",
              common::fmt_num(hetero_speedup, 2) + "x (" +
                  std::to_string(hetero_par.steals) + " steals)"});
+  t.add_row({"analytic predict, Mquery/s",
+             common::fmt_num(predict_qps / 1e6, 1)});
   t.add_row({"bit-identical results", all_identical ? "yes" : "NO"});
   std::printf("%s\n", t.to_string().c_str());
   std::printf("sweep checksum: %016llx\n\n",
@@ -405,6 +436,7 @@ int main(int argc, char** argv) {
                  "  \"seq_scan_scalar_macc_per_s\": %.3f,\n"
                  "  \"chase_macc_per_s\": %.3f,\n"
                  "  \"chase_scalar_macc_per_s\": %.3f,\n"
+                 "  \"predict_queries_per_s\": %.0f,\n"
                  "  \"sweep_max_mb\": %llu,\n"
                  "  \"sweep_points\": %zu,\n"
                  "  \"sweep_sequential_s\": %.4f,\n"
@@ -427,7 +459,7 @@ int main(int argc, char** argv) {
                  runner.threads(),
                  static_cast<unsigned long long>(accesses),
                  seq.batched_macc_per_s, seq.scalar_macc_per_s,
-                 cha.batched_macc_per_s, cha.scalar_macc_per_s,
+                 cha.batched_macc_per_s, cha.scalar_macc_per_s, predict_qps,
                  static_cast<unsigned long long>(max_mb), sizes.size(), seq_s,
                  par_s, speedup, width_speedup(0), width_speedup(1),
                  width_speedup(2), hetero_par.tasks, hetero_serial.wall_s,

@@ -51,37 +51,8 @@ namespace {
 
 using namespace p8;
 
-struct Landmark {
-  const char* level;
-  std::uint64_t bytes;
-};
-
-/// Working-set sizes that land in the middle of each hierarchy level
-/// the spec actually has (a level missing from a configuration — e.g.
-/// an L4 smaller than the chip L3 — is skipped, not asserted).
-std::vector<Landmark> landmarks(const arch::SystemSpec& s) {
-  const std::uint64_t l1 = s.processor.core.l1d_bytes;
-  const std::uint64_t l2 = s.processor.core.l2_bytes;
-  const std::uint64_t l3 = s.processor.core.l3_bytes;
-  const std::uint64_t chip_l3 = s.processor.l3_total_bytes(s.cores_per_chip);
-  const std::uint64_t l4_chip =
-      static_cast<std::uint64_t>(s.centaurs_per_chip) * s.centaur.l4_bytes;
-  std::vector<Landmark> out;
-  out.push_back({"L1", l1 / 2});
-  if (l2 > l1) out.push_back({"L2", l2 / 2});
-  if (l3 > l2) out.push_back({"L3", l3 / 2});
-  if (chip_l3 > l3) out.push_back({"chip-L3", (l3 + chip_l3) / 2});
-  if (l4_chip > chip_l3) out.push_back({"L4", (chip_l3 + l4_chip) / 2});
-  std::uint64_t deepest = chip_l3 > l4_chip ? chip_l3 : l4_chip;
-  out.push_back({"DRAM", 4 * deepest});
-  return out;
-}
-
-struct Verdict {
-  std::string invariant;
-  bool ok = true;
-  std::string detail;
-};
+using bench::Landmark;
+using bench::Verdict;
 
 struct MachineReport {
   std::string selector;
@@ -103,7 +74,7 @@ struct MachineReport {
 // worker count.
 void check(MachineReport& r, const std::string& invariant, bool ok,
            const std::string& detail) {
-  r.verdicts.push_back({invariant, ok, detail});
+  bench::add_check(r.verdicts, invariant, ok, detail);
 }
 
 // -------------------------------------------------------------------
@@ -117,7 +88,7 @@ void check(MachineReport& r, const std::string& invariant, bool ok,
 /// Fig. 2: latency at each hierarchy landmark (prefetch off).
 void analyze_latency(MachineReport& r, const sim::Machine& machine,
                      const arch::SystemSpec& s) {
-  r.marks = landmarks(s);
+  r.marks = bench::hierarchy_landmarks(s);
   std::vector<std::uint64_t> sizes;
   for (const Landmark& m : r.marks) sizes.push_back(m.bytes);
   for (const auto& point :
@@ -356,11 +327,7 @@ int main(int argc, char** argv) {
 
   std::vector<MachineReport> reports;
   for (Job& job : jobs) {
-    for (const Verdict& v : job.report.verdicts)
-      if (!v.ok)
-        std::fprintf(stderr, "FAIL [%s] %s: %s\n",
-                     job.report.selector.c_str(), v.invariant.c_str(),
-                     v.detail.c_str());
+    bench::print_failed(job.report.selector, job.report.verdicts);
     reports.push_back(std::move(job.report));
   }
 
@@ -368,8 +335,7 @@ int main(int argc, char** argv) {
   common::TextTable t({"Machine", "cores", "DRAM (ns)", "peak mix (GB/s)",
                        "inter/intra (ns)", "invariants"});
   for (const MachineReport& r : reports) {
-    int failed = 0;
-    for (const Verdict& v : r.verdicts) failed += v.ok ? 0 : 1;
+    const int failed = bench::failed_count(r.verdicts);
     all_ok = all_ok && failed == 0;
     t.add_row(
         {r.selector, std::to_string(r.total_cores),

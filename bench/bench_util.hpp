@@ -4,10 +4,13 @@
 // the paper states one.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -227,6 +230,121 @@ inline bool gate_model(const sim::Machine& machine, sim::SweepRunner& runner,
   runner.gate_on_audit(machine.audit());
   if (no_audit) runner.waive_audit();
   return gate_model(machine, no_audit);
+}
+
+// ---------------------------------------------------------------------------
+// Tolerance-table gate machinery, shared by bench_scaling_matrix and
+// bench_predict.  Two kinds of rows feed one reporting path:
+//
+//  * Verdict        — a named boolean invariant with a human detail
+//                     string ("latency.plateaus", "mix.2to1-peak", ...);
+//  * ToleranceCheck — |value/reference - 1| <= tol quantitative
+//                     agreement, rendered into a Verdict for printing.
+//
+// Gates accumulate rows per artifact (a machine preset, a figure) and
+// print the failures through print_failed(), in row order, after all
+// parallel work has drained — so stderr is deterministic at any worker
+// count.
+
+struct Verdict {
+  std::string invariant;
+  bool ok = true;
+  std::string detail;
+};
+
+/// Appends a verdict row.
+inline void add_check(std::vector<Verdict>& out, std::string invariant,
+                      bool ok, std::string detail) {
+  out.push_back(Verdict{std::move(invariant), ok, std::move(detail)});
+}
+
+inline int failed_count(const std::vector<Verdict>& verdicts) {
+  int failed = 0;
+  for (const Verdict& v : verdicts) failed += v.ok ? 0 : 1;
+  return failed;
+}
+
+/// Prints "FAIL [artifact] invariant: detail" to stderr for every
+/// failing row, in row order; returns the number of failures.
+inline int print_failed(const std::string& artifact,
+                        const std::vector<Verdict>& verdicts) {
+  int failed = 0;
+  for (const Verdict& v : verdicts) {
+    if (v.ok) continue;
+    ++failed;
+    std::fprintf(stderr, "FAIL [%s] %s: %s\n", artifact.c_str(),
+                 v.invariant.c_str(), v.detail.c_str());
+  }
+  return failed;
+}
+
+/// One quantitative agreement row: `value` (model/predictor) against
+/// `reference` (paper or simulator ground truth) under a relative
+/// tolerance.
+struct ToleranceCheck {
+  std::string quantity;
+  double reference = 0.0;
+  double value = 0.0;
+  double tol = 0.02;
+  /// Documented deviation: an overshoot warns instead of failing.
+  bool allow_warn = false;
+};
+
+/// value/reference; 0 when the reference is zero (no meaningful ratio).
+inline double tolerance_ratio(const ToleranceCheck& c) {
+  return c.reference != 0.0 ? c.value / c.reference : 0.0;
+}
+
+inline bool tolerance_within(const ToleranceCheck& c) {
+  if (c.reference == 0.0) return c.value == 0.0;
+  return std::abs(tolerance_ratio(c) - 1.0) <= c.tol;
+}
+
+/// "PASS" within tolerance, "ALLOWED" for a documented deviation,
+/// "FAIL" otherwise — the BENCH_fidelity.json status vocabulary.
+inline const char* tolerance_status(const ToleranceCheck& c) {
+  if (tolerance_within(c)) return "PASS";
+  return c.allow_warn ? "ALLOWED" : "FAIL";
+}
+
+/// Renders the row into a Verdict for the shared printing path.
+/// ALLOWED rows are ok (they gate nothing) but keep their detail.
+inline Verdict tolerance_verdict(const ToleranceCheck& c) {
+  const std::string status = tolerance_status(c);
+  return Verdict{
+      c.quantity, status != "FAIL",
+      common::fmt_num(c.value, 3) + " vs " + common::fmt_num(c.reference, 3) +
+          " (ratio " + common::fmt_num(tolerance_ratio(c), 3) + ", tol " +
+          common::fmt_num(c.tol, 3) + "): " + status};
+}
+
+/// A mid-plateau working-set size for one hierarchy level.
+struct Landmark {
+  const char* level;
+  std::uint64_t bytes;
+};
+
+/// Working-set sizes that land in the middle of each hierarchy level
+/// the spec actually has (a level missing from a configuration — e.g.
+/// an L4 smaller than the chip L3 — is skipped, not asserted).  Shared
+/// by bench_scaling_matrix (shape invariants) and bench_predict (the
+/// differential matrix), so both gates probe the same geometry.
+inline std::vector<Landmark> hierarchy_landmarks(const arch::SystemSpec& s) {
+  const std::uint64_t l1 = s.processor.core.l1d_bytes;
+  const std::uint64_t l2 = s.processor.core.l2_bytes;
+  const std::uint64_t l3 = s.processor.core.l3_bytes;
+  const std::uint64_t chip_l3 = s.processor.l3_total_bytes(s.cores_per_chip);
+  const std::uint64_t l4_chip =
+      static_cast<std::uint64_t>(s.centaurs_per_chip) * s.centaur.l4_bytes;
+  std::vector<Landmark> out;
+  out.push_back({"L1", l1 / 2});
+  if (l2 > l1) out.push_back({"L2", l2 / 2});
+  if (l3 > l2) out.push_back({"L3", l3 / 2});
+  if (chip_l3 > l3) out.push_back({"chip-L3", (l3 + chip_l3) / 2});
+  if (l4_chip > chip_l3) out.push_back({"L4", (chip_l3 + l4_chip) / 2});
+  std::uint64_t deepest = chip_l3 > l4_chip ? chip_l3 : l4_chip;
+  out.push_back({"DRAM", 4 * deepest});
+  return out;
 }
 
 }  // namespace p8::bench

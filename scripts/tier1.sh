@@ -90,17 +90,8 @@ EOF
 ./build/tools/p8trace run --workload=seq-scan --accesses=$((1 << 17)) \
   --counters=build/tier1_run_counters.csv --json=build/tier1_run.json
 diff -u build/tier1_run_counters.csv build/tier1_replay_counters.csv
-python3 - build/tier1_replay.json build/tier1_run.json <<'EOF'
-import json, sys
-replay = json.load(open(sys.argv[1]))
-run = json.load(open(sys.argv[2]))
-for key in ("accesses", "busy_ns", "now_ns", "l1_fast_hits",
-            "prefetched_hits", "window_accesses", "window_ns"):
-    assert replay[key] == run[key], \
-        "replay/run diverge on %s: %r vs %r" % (key, replay[key], run[key])
-print("trace replay: bit-identical to in-memory run (%d accesses)"
-      % replay["accesses"])
-EOF
+./build/tools/p8trace diff build/tier1_replay.json build/tier1_run.json
+echo "trace replay: bit-identical to in-memory run"
 
 # Out-of-core bound: replaying a 4x larger trace must not grow peak
 # RSS beyond noise — the file streams through a fixed-size chunk
@@ -138,16 +129,30 @@ EOF
 ./build/bench/bench_fidelity_report --json build/BENCH_fidelity.json
 diff -u BENCH_fidelity.json build/BENCH_fidelity.json
 
+# Predictor differential gate: the closed-form analytic tier must
+# agree with the event-driven simulator on all five presets within the
+# calibrated per-quantity tolerances, the router must send boundary
+# queries back to the simulator bit-identically, and the analytic
+# tier must clear the >=1e5x-over-simulation throughput floor.  The
+# deterministic rows are pinned: a fresh --json run must match the
+# checked-in BENCH_predict.json bit for bit.
+./build/bench/bench_predict --machines=all --gate \
+  --json build/BENCH_predict.json
+diff -u BENCH_predict.json build/BENCH_predict.json
+
 # Memory-safety pass: AddressSanitizer build of the counter layer, the
 # parallel sweep engine (the two places this repo shares registry
-# slots and fans work across threads) and the trace codec — the
+# slots and fans work across threads), the trace codec — the
 # corrupted-file rejection matrix must hold with ASan watching the
-# varint decoder and the mmap path.
+# varint decoder and the mmap path — and the predictor suite (the
+# router fans fallbacks across the sweep engine).
 cmake -B build-asan -S . -DP8_SANITIZE=address
-cmake --build build-asan -j --target sim_counters_test sweep_test trace_test
+cmake --build build-asan -j --target sim_counters_test sweep_test trace_test \
+  machine_predict_test
 ./build-asan/tests/sim_counters_test
 ./build-asan/tests/sweep_test
 ./build-asan/tests/trace_test
+./build-asan/tests/machine_predict_test
 
 # Contract pass: a contracts-forced Debug build runs the parallel
 # sweep, audit and contract-macro tests with every P8_ENSURE /
@@ -157,8 +162,9 @@ cmake --build build-asan -j --target sim_counters_test sweep_test trace_test
 # only means something with the contracts armed.
 cmake -B build-contracts -S . -DCMAKE_BUILD_TYPE=Debug -DP8_CONTRACTS=ON
 cmake --build build-contracts -j --target sweep_test contracts_test \
-  sim_audit_test sim_property_test
+  sim_audit_test sim_property_test machine_predict_test
 ./build-contracts/tests/sweep_test
 ./build-contracts/tests/contracts_test
 ./build-contracts/tests/sim_audit_test
 ./build-contracts/tests/sim_property_test
+./build-contracts/tests/machine_predict_test

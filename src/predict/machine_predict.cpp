@@ -1,0 +1,331 @@
+#include "predict/machine_predict.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "arch/topology.hpp"
+#include "common/contract.hpp"
+#include "sim/prefetch/engine.hpp"
+
+namespace p8::predict {
+
+Predictor::Predictor(const sim::MachineSpec& spec)
+    : spec_(spec),
+      hier_(sim::HierarchyConfig::from_spec(spec.system)),
+      chips_(spec.system.total_chips()) {
+  // The Fig. 2 staircase: cumulative capacity of each service level.
+  // A level whose capacity does not exceed its parent's (an ablated L4
+  // on e870-centaur4, a single-core chip's empty victim pool) adds no
+  // step and folds away, mirroring the simulated curve.
+  const auto push = [this](sim::ServiceLevel level, std::uint64_t cap,
+                           double latency) {
+    if (level_count_ > 0 && cap <= levels_[level_count_ - 1].capacity_bytes)
+      return;
+    levels_[level_count_++] = Level{level, cap, latency};
+  };
+  const sim::HierarchyLatencies& lat = hier_.latency;
+  push(sim::ServiceLevel::kL1, hier_.l1_bytes, lat.l1_ns);
+  push(sim::ServiceLevel::kL2, hier_.l2_bytes, lat.l2_ns);
+  push(sim::ServiceLevel::kL3Local, hier_.l3_bytes, lat.l3_local_ns);
+  if (hier_.victim_l3 && hier_.chip_cores > 1)
+    push(sim::ServiceLevel::kL3Remote,
+         hier_.l3_bytes * static_cast<std::uint64_t>(hier_.chip_cores),
+         lat.l3_remote_ns);
+  if (hier_.l4_enabled && hier_.centaurs > 0)
+    push(sim::ServiceLevel::kL4,
+         spec.system.centaur.l4_bytes *
+             static_cast<std::uint64_t>(hier_.centaurs),
+         lat.l4_ns);
+  push(sim::ServiceLevel::kDram,
+       std::numeric_limits<std::uint64_t>::max(), lat.dram_ns);
+  P8_ENSURE(level_count_ >= 2 && level_count_ <= levels_.size(),
+            "the staircase needs at least one cache level above DRAM");
+
+  // Precompute the chips x chips min-hop cost so noc_latency_ns() is a
+  // single table load.
+  const arch::Topology topology = arch::Topology::from_spec(spec.system);
+  hop_ns_.resize(static_cast<std::size_t>(chips_) * chips_);
+  for (int home = 0; home < chips_; ++home)
+    for (int consumer = 0; consumer < chips_; ++consumer)
+      hop_ns_[static_cast<std::size_t>(home) * chips_ + consumer] =
+          topology.min_latency_ns(home, consumer);
+}
+
+sim::ServiceLevel Predictor::plateau_level(
+    std::uint64_t footprint_bytes) const {
+  // The cyclic chase revisits a line exactly one working-set later, so
+  // the deepest level whose cumulative capacity covers the footprint
+  // serves every steady-state access.
+  const std::uint64_t f = std::max(footprint_bytes, hier_.line_bytes);
+  for (std::size_t i = 0; i + 1 < level_count_; ++i)
+    if (f <= levels_[i].capacity_bytes) return levels_[i].level;
+  return levels_[level_count_ - 1].level;
+}
+
+double Predictor::service_latency_ns(sim::ServiceLevel level) const {
+  return hier_.latency.of(level);
+}
+
+double Predictor::tlb_penalty_ns(std::uint64_t footprint_bytes,
+                                 std::uint64_t page_bytes) const {
+  P8_REQUIRE(page_bytes > 0, "page size must be positive");
+  // Stack-LRU closed form: N pages referenced uniformly through a
+  // C-entry LRU structure hit with probability min(1, C/N).  The ERAT
+  // is LRU inside the TLB's reach, so the hit classes nest:
+  //   P(ERAT hit) = min(1, 48/N), P(TLB hit, ERAT miss) = tlb - erat.
+  const double pages = std::max(
+      1.0, std::ceil(static_cast<double>(footprint_bytes) /
+                     static_cast<double>(page_bytes)));
+  const double erat_hit = std::min(1.0, tlb_.erat_entries / pages);
+  const double tlb_hit = std::min(1.0, tlb_.tlb_entries / pages);
+  return (tlb_hit - erat_hit) * tlb_.erat_miss_ns +
+         (1.0 - tlb_hit) * tlb_.walk_ns;
+}
+
+double Predictor::chase_latency_ns(std::uint64_t footprint_bytes,
+                                   std::uint64_t page_bytes,
+                                   int consumer_chip, int home_chip) const {
+  const sim::ServiceLevel level = plateau_level(footprint_bytes);
+  double service = service_latency_ns(level);
+  // Off-chip service pays the fabric hops to the homing chip, exactly
+  // where LatencyProbe adds remote_extra_ns.
+  if (level == sim::ServiceLevel::kL4 || level == sim::ServiceLevel::kDram)
+    service += hop_ns(consumer_chip, home_chip);
+  return service + tlb_penalty_ns(footprint_bytes, page_bytes);
+}
+
+double Predictor::stream_latency_ns(int dscr, int consumer_chip,
+                                    int home_chip) const {
+  sim::PrefetchConfig pf;
+  pf.dscr = dscr;
+  return noc_latency_ns(consumer_chip, home_chip) / (pf.depth_lines() + 1);
+}
+
+double Predictor::stream_gbs(int chips, int cores, int threads,
+                             sim::RwMix mix, int dscr) const {
+  // The same min-of-four-caps MemoryBandwidthModel evaluates, with the
+  // identical operation order so the roofs agree bit for bit.
+  P8_REQUIRE(chips >= 1 && chips <= chips_, "chip count");
+  P8_REQUIRE(cores >= 1 && cores <= spec_.system.cores_per_chip,
+             "core count");
+  P8_REQUIRE(threads >= 1 &&
+                 threads <= spec_.system.processor.core.smt_threads,
+             "thread count");
+  P8_REQUIRE(mix.read >= 0 && mix.write >= 0 && mix.read + mix.write > 0,
+             "mix must have traffic");
+  const sim::MemBandwidthParams& p = spec_.mem;
+  const double fr = mix.read_fraction();
+  const double fw = mix.write_fraction();
+  const double line =
+      static_cast<double>(spec_.system.processor.cache_line_bytes);
+
+  sim::PrefetchConfig pf;
+  pf.dscr = dscr;
+  const int per_thread = 1 + pf.depth_lines();
+  const int per_core = std::min(threads * per_thread, p.core_stream_mlp);
+  const double conc =
+      chips * cores * (per_core * line / p.stream_latency_ns);
+
+  double rlink = std::numeric_limits<double>::infinity();
+  if (fr > 0.0) {
+    const double links =
+        chips * spec_.system.centaurs_per_chip *
+        spec_.system.centaur.read_link_gbs;
+    rlink = links * p.read_link_eff / fr;
+  }
+  double wlink = std::numeric_limits<double>::infinity();
+  if (fw > 0.0) {
+    const double eff = p.write_link_eff - p.turnaround_coeff * 4.0 * fr * fw;
+    const double links =
+        chips * spec_.system.centaurs_per_chip *
+        spec_.system.centaur.write_link_gbs;
+    wlink = links * std::max(eff, 0.05) / fw;
+  }
+  const double fabric = chips * p.chip_fabric_gbs;
+  const double bw = std::min(std::min(conc, rlink), std::min(wlink, fabric));
+  P8_ENSURE(std::isfinite(bw) && bw > 0.0,
+            "the binding cap must yield a finite positive bandwidth");
+  return bw;
+}
+
+double Predictor::system_stream_gbs(sim::RwMix mix) const {
+  return stream_gbs(chips_, spec_.system.cores_per_chip,
+                    spec_.system.processor.core.smt_threads, mix);
+}
+
+double Predictor::random_gbs(int chips, int cores, int threads,
+                             int streams) const {
+  P8_REQUIRE(chips >= 1 && cores >= 1 && threads >= 1 && streams >= 1,
+             "all counts must be positive");
+  const sim::MemBandwidthParams& p = spec_.mem;
+  const double line =
+      static_cast<double>(spec_.system.processor.cache_line_bytes);
+  const int per_core = std::min(threads * streams, p.core_random_mlp);
+  const double raw = chips * cores * per_core * line / p.random_latency_ns;
+  const double cap = chips * p.random_row_cap_gbs;
+  const double bw = cap * (1.0 - std::exp(-raw / cap));
+  P8_ENSURE(bw >= 0.0 && bw <= cap,
+            "interpolated random bandwidth must stay within the row-"
+            "activate service bound");
+  return bw;
+}
+
+double Predictor::noc_latency_ns(int consumer_chip, int home_chip) const {
+  return spec_.noc.local_dram_latency_ns + hop_ns(consumer_chip, home_chip);
+}
+
+double Predictor::hop_ns(int consumer_chip, int home_chip) const {
+  P8_REQUIRE(consumer_chip >= 0 && consumer_chip < chips_,
+             "consumer chip out of range");
+  P8_REQUIRE(home_chip >= 0 && home_chip < chips_, "home chip out of range");
+  return hop_ns_[static_cast<std::size_t>(home_chip) * chips_ +
+                 consumer_chip];
+}
+
+roofline::RooflineModel Predictor::roofline() const {
+  return roofline::RooflineModel::from_sustained(
+      spec_.system, system_stream_gbs(sim::RwMix{2.0, 1.0}),
+      system_stream_gbs(sim::RwMix{0.0, 1.0}));
+}
+
+QueryRouter::QueryRouter(const sim::MachineSpec& spec, std::size_t threads)
+    : spec_(spec),
+      predictor_(spec),
+      machine_(spec.system, spec.mem, spec.noc),
+      runner_(threads) {
+  runner_.set_task_label("predict-fallback");
+  runner_.gate_on_audit(machine_.audit());
+}
+
+bool QueryRouter::analytic_servable(const Query& query) const {
+  switch (query.kind) {
+    case Query::Kind::kStreamBandwidth:
+    case Query::Kind::kRandomBandwidth:
+    case Query::Kind::kNocLatency:
+      // The simulator's own bandwidth/NoC tier is the same closed
+      // form — nothing for the event engine to add.
+      return true;
+    case Query::Kind::kStreamLatency:
+      // Unit stride is the calibrated steady state; strided streams
+      // interact with stream confirmation and page boundaries.
+      return query.stride_lines == 1;
+    case Query::Kind::kChaseLatency: {
+      if (query.pattern != ubench::ChasePattern::kRandom) return false;
+      if (query.dscr != 1) return false;
+      // Inside the guard band around a capacity boundary the occupancy
+      // mix is transitional — only the event simulator resolves it.
+      for (std::size_t i = 0; i + 1 < predictor_.level_count(); ++i) {
+        const double boundary =
+            static_cast<double>(predictor_.level(i).capacity_bytes);
+        const double f = static_cast<double>(query.footprint_bytes);
+        if (f > 0.9 * boundary && f < 1.15 * boundary) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+double QueryRouter::analytic(const Query& query) const {
+  switch (query.kind) {
+    case Query::Kind::kChaseLatency:
+      return predictor_.chase_latency_ns(query.footprint_bytes,
+                                         query.page_bytes,
+                                         query.consumer_chip,
+                                         query.home_chip);
+    case Query::Kind::kStreamLatency:
+      return predictor_.stream_latency_ns(query.dscr, query.consumer_chip,
+                                          query.home_chip);
+    case Query::Kind::kStreamBandwidth:
+      return predictor_.stream_gbs(query.chips, query.cores, query.threads,
+                                   query.mix, query.dscr);
+    case Query::Kind::kRandomBandwidth:
+      return predictor_.random_gbs(query.chips, query.cores, query.threads,
+                                   query.streams);
+    case Query::Kind::kNocLatency:
+      return predictor_.noc_latency_ns(query.consumer_chip, query.home_chip);
+  }
+  P8_INVARIANT(false, "unreachable: every query kind is dispatched above");
+  return 0.0;
+}
+
+double QueryRouter::simulate(const Query& query) {
+  switch (query.kind) {
+    case Query::Kind::kChaseLatency: {
+      ubench::ChaseOptions options;
+      options.working_set_bytes = query.footprint_bytes;
+      options.page_bytes = query.page_bytes;
+      options.dscr = query.dscr;
+      options.pattern = query.pattern;
+      options.stride_lines = query.stride_lines;
+      options.consumer_chip = query.consumer_chip;
+      options.home_chip = query.home_chip;
+      return ubench::chase_latency_ns(machine_, options);
+    }
+    case Query::Kind::kStreamLatency: {
+      ubench::StrideOptions options;
+      options.stride_lines = query.stride_lines;
+      options.dscr = query.dscr;
+      options.page_bytes = query.page_bytes;
+      return ubench::stride_latency_ns(machine_, options);
+    }
+    case Query::Kind::kStreamBandwidth:
+      return machine_.memory().stream_gbs(query.chips, query.cores,
+                                          query.threads, query.mix,
+                                          query.dscr);
+    case Query::Kind::kRandomBandwidth:
+      return machine_.memory().random_gbs(query.chips, query.cores,
+                                          query.threads, query.streams);
+    case Query::Kind::kNocLatency:
+      return machine_.noc().memory_latency_ns(query.consumer_chip,
+                                              query.home_chip);
+  }
+  P8_INVARIANT(false, "unreachable: every query kind is dispatched above");
+  return 0.0;
+}
+
+Answer QueryRouter::answer(const Query& query) {
+  if (analytic_servable(query)) {
+    hits_.add();
+    return Answer{analytic(query), true};
+  }
+  fallbacks_.add();
+  return Answer{simulate(query), false};
+}
+
+std::vector<Answer> QueryRouter::answer_batch(
+    const std::vector<Query>& queries) {
+  std::vector<Answer> out(queries.size());
+  std::vector<std::size_t> fallback;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (analytic_servable(queries[i])) {
+      hits_.add();
+      out[i] = Answer{analytic(queries[i]), true};
+    } else {
+      fallback.push_back(i);
+    }
+  }
+  if (!fallback.empty()) {
+    fallbacks_.add(fallback.size());
+    // Each fallback derives all mutable state (probe, RNG) from its
+    // query alone, so fanning across the runner is bit-identical to
+    // the inline loop for any worker count.
+    const std::vector<double> values = runner_.run(
+        fallback.size(),
+        [this, &queries, &fallback](std::size_t k) {
+          return simulate(queries[fallback[k]]);
+        });
+    for (std::size_t k = 0; k < fallback.size(); ++k)
+      out[fallback[k]] = Answer{values[k], false};
+  }
+  return out;
+}
+
+void QueryRouter::attach_counters(sim::CounterRegistry* registry,
+                                  const std::string& prefix) {
+  hits_ = sim::make_counter(registry, prefix, ".hits");
+  fallbacks_ = sim::make_counter(registry, prefix, ".fallbacks");
+}
+
+}  // namespace p8::predict

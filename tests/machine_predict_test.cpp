@@ -1,0 +1,276 @@
+// The closed-form predictor (src/predict/machine_predict) and its
+// QueryRouter: unit pins against the simulator's own analytic tiers
+// (bandwidth and NoC queries must agree bit for bit — they evaluate
+// the identical formulas), the plateau staircase and routing policy,
+// and the fallback contract: a simulation-required query answered
+// through the router must equal the direct ubench run exactly.
+//
+// The property section runs the predictor over randomized audit-clean
+// machine configurations (same generator discipline as
+// sim_property_test): predicted chase latency is monotone
+// non-decreasing in footprint, the bandwidth roofs order the same way
+// the latency plateaus do (more capacity -> higher latency; more
+// chips/cores/threads -> no lower roof), and every prediction is
+// finite and positive — the closed forms never divide through zero or
+// throw for a spec the audit accepts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "predict/machine_predict.hpp"
+#include "proptest.hpp"
+#include "sim/counters.hpp"
+#include "sim/machine/machine.hpp"
+#include "sim/machine/spec.hpp"
+#include "ubench/workloads.hpp"
+
+namespace {
+
+using namespace p8;
+
+sim::MachineSpec e870() { return sim::machine_spec("e870"); }
+
+/// Same structural re-roll as sim_property_test's generator: a random
+/// registry preset with the knobs the audit polices swept across (and
+/// beyond) the plausible POWER8 range.
+sim::MachineSpec random_spec(proptest::Gen& gen) {
+  sim::MachineSpec s = sim::machine_spec(
+      sim::machine_names()[static_cast<std::size_t>(gen.int_range(
+          0, static_cast<int>(sim::machine_names().size()) - 1))]);
+  arch::SystemSpec& sys = s.system;
+  sys.sockets = gen.int_range(1, 16);
+  sys.chips_per_socket = gen.pick({1, 1, 1, 2});
+  sys.cores_per_chip = gen.int_range(1, 12);
+  sys.centaurs_per_chip = gen.int_range(1, 8);
+  sys.clock_ghz = gen.real_range(2.0, 5.5);
+  sys.chips_per_group = gen.pick({1, 2, 3, 4, 6, 8, 16});
+  sys.processor.core.smt_threads = gen.pick({1, 2, 4, 8});
+  if (gen.chance(0.3)) sys.xbus_gbs = gen.real_range(10.0, 80.0);
+  if (gen.chance(0.3)) sys.abus_gbs = gen.real_range(5.0, 30.0);
+  if (gen.chance(0.3)) sys.abus_links_per_pair = gen.int_range(1, 4);
+  if (gen.chance(0.2)) {
+    sys.centaur.read_link_gbs = gen.real_range(5.0, 40.0);
+    sys.centaur.write_link_gbs = sys.centaur.read_link_gbs / 2.0;
+  }
+  if (gen.chance(0.2)) s.mem.stream_latency_ns = gen.real_range(60.0, 300.0);
+  if (gen.chance(0.2)) s.noc.ingest_cap_gbs = gen.real_range(30.0, 150.0);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Unit pins: the staircase and the simulator's analytic tiers.
+
+TEST(Predictor, PlateauStaircaseFollowsTheHierarchy) {
+  const sim::MachineSpec spec = e870();
+  const predict::Predictor p(spec);
+  const auto& core = spec.system.processor.core;
+
+  EXPECT_EQ(p.plateau_level(1), sim::ServiceLevel::kL1);
+  EXPECT_EQ(p.plateau_level(core.l1d_bytes), sim::ServiceLevel::kL1);
+  EXPECT_EQ(p.plateau_level(core.l1d_bytes + 1), sim::ServiceLevel::kL2);
+  EXPECT_EQ(p.plateau_level(core.l2_bytes), sim::ServiceLevel::kL2);
+  EXPECT_EQ(p.plateau_level(core.l2_bytes + 1), sim::ServiceLevel::kL3Local);
+  // The deepest finite level is still not DRAM...
+  const auto& deepest = p.level(p.level_count() - 2);
+  EXPECT_EQ(p.plateau_level(deepest.capacity_bytes),
+            deepest.level);
+  // ...and one byte past it spills to DRAM.
+  EXPECT_EQ(p.plateau_level(deepest.capacity_bytes + 1),
+            sim::ServiceLevel::kDram);
+}
+
+TEST(Predictor, StaircaseCapacitiesAndLatenciesAreOrdered) {
+  const predict::Predictor p(e870());
+  ASSERT_GE(p.level_count(), 3u);
+  for (std::size_t i = 1; i < p.level_count(); ++i) {
+    EXPECT_GT(p.level(i).capacity_bytes, p.level(i - 1).capacity_bytes);
+    EXPECT_GE(p.level(i).latency_ns, p.level(i - 1).latency_ns);
+  }
+}
+
+TEST(Predictor, BandwidthAgreesBitForBitWithTheSimTier) {
+  const sim::MachineSpec spec = e870();
+  const predict::Predictor p(spec);
+  const sim::Machine machine(spec.system, spec.mem, spec.noc);
+  const sim::RwMix mixes[] = {{1.0, 0.0}, {2.0, 1.0}, {1.0, 1.0}, {0.0, 1.0}};
+  for (const auto& mix : mixes) {
+    for (int chips = 1; chips <= p.chips(); ++chips)
+      for (int threads = 1; threads <= 8; threads *= 2)
+        EXPECT_EQ(p.stream_gbs(chips, 4, threads, mix),
+                  machine.memory().stream_gbs(chips, 4, threads, mix));
+    EXPECT_EQ(p.system_stream_gbs(mix), machine.memory().system_stream_gbs(mix));
+  }
+  for (int streams = 1; streams <= 16; streams *= 2)
+    EXPECT_EQ(p.random_gbs(p.chips(), 8, 8, streams),
+              machine.memory().random_gbs(p.chips(), 8, 8, streams));
+}
+
+TEST(Predictor, NocLatencyAgreesBitForBitWithTheSimTier) {
+  const sim::MachineSpec spec = e870();
+  const predict::Predictor p(spec);
+  const sim::Machine machine(spec.system, spec.mem, spec.noc);
+  for (int consumer = 0; consumer < p.chips(); ++consumer)
+    for (int home = 0; home < p.chips(); ++home)
+      EXPECT_EQ(p.noc_latency_ns(consumer, home),
+                machine.noc().memory_latency_ns(consumer, home));
+}
+
+// ---------------------------------------------------------------------------
+// Routing policy and the fallback contract.
+
+TEST(QueryRouter, ClassifiesByPatternAndGuardBand) {
+  const sim::MachineSpec spec = e870();
+  predict::QueryRouter router(spec, 1);
+  const auto& core = spec.system.processor.core;
+
+  predict::Query q;
+  q.kind = predict::Query::Kind::kChaseLatency;
+  q.footprint_bytes = core.l2_bytes * 4;  // far from every boundary
+  EXPECT_TRUE(router.analytic_servable(q));
+  q.footprint_bytes = core.l2_bytes;  // exactly on a boundary
+  EXPECT_FALSE(router.analytic_servable(q));
+  q.footprint_bytes = core.l2_bytes * 4;
+  q.dscr = 7;  // prefetched chase: only the simulator resolves it
+  EXPECT_FALSE(router.analytic_servable(q));
+  q.dscr = 1;
+  q.pattern = ubench::ChasePattern::kForwardStride;
+  EXPECT_FALSE(router.analytic_servable(q));
+
+  predict::Query s;
+  s.kind = predict::Query::Kind::kStreamLatency;
+  s.stride_lines = 1;
+  EXPECT_TRUE(router.analytic_servable(s));
+  s.stride_lines = 256;
+  EXPECT_FALSE(router.analytic_servable(s));
+
+  predict::Query b;
+  b.kind = predict::Query::Kind::kStreamBandwidth;
+  EXPECT_TRUE(router.analytic_servable(b));
+  b.kind = predict::Query::Kind::kRandomBandwidth;
+  EXPECT_TRUE(router.analytic_servable(b));
+  b.kind = predict::Query::Kind::kNocLatency;
+  EXPECT_TRUE(router.analytic_servable(b));
+}
+
+TEST(QueryRouter, FallbackIsBitIdenticalToTheDirectRunAndCounted) {
+  const sim::MachineSpec spec = e870();
+  predict::QueryRouter router(spec, 1);
+  sim::CounterRegistry registry;
+  router.attach_counters(&registry);
+
+  predict::Query boundary;
+  boundary.kind = predict::Query::Kind::kChaseLatency;
+  boundary.footprint_bytes = spec.system.processor.core.l2_bytes;
+  predict::Query analytic;
+  analytic.kind = predict::Query::Kind::kChaseLatency;
+  analytic.footprint_bytes = spec.system.processor.core.l2_bytes * 4;
+
+  const auto answers = router.answer_batch({boundary, analytic});
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_FALSE(answers[0].analytic);
+  EXPECT_TRUE(answers[1].analytic);
+
+  ubench::ChaseOptions options;
+  options.working_set_bytes = boundary.footprint_bytes;
+  options.page_bytes = boundary.page_bytes;
+  options.dscr = boundary.dscr;
+  const double direct = ubench::chase_latency_ns(router.machine(), options);
+  EXPECT_EQ(answers[0].value, direct);
+  EXPECT_EQ(answers[1].value,
+            router.predictor().chase_latency_ns(analytic.footprint_bytes));
+
+  EXPECT_EQ(registry.value("predictor.hits"), 1u);
+  EXPECT_EQ(registry.value("predictor.fallbacks"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Properties over randomized audit-clean configurations.
+
+TEST(PredictorProperty, ChaseLatencyMonotoneInFootprint) {
+  P8_PROP(gen, 120, 0xfeedf00d) {
+    const sim::MachineSpec spec = random_spec(gen);
+    if (!spec.audit().ok()) continue;
+    const predict::Predictor p(spec);
+    const std::uint64_t page = gen.chance(0.5) ? 64 * 1024 : 16ull << 20;
+    std::uint64_t footprint = gen.range(4 * 1024, 256 * 1024);
+    double prev = p.chase_latency_ns(footprint, page);
+    for (int step = 0; step < 12; ++step) {
+      footprint += gen.range(footprint / 2, footprint * 3);
+      const double next = p.chase_latency_ns(footprint, page);
+      EXPECT_LE(prev, next + 1e-9)
+          << "latency fell from " << prev << " to " << next << " at footprint "
+          << footprint;
+      prev = next;
+    }
+  }
+}
+
+TEST(PredictorProperty, RoofOrderingMatchesPlateauOrdering) {
+  P8_PROP(gen, 120, 0x400fbeef) {
+    const sim::MachineSpec spec = random_spec(gen);
+    if (!spec.audit().ok()) continue;
+    const predict::Predictor p(spec);
+    // Plateau ordering: deeper levels cost more and hold more.
+    for (std::size_t i = 1; i < p.level_count(); ++i) {
+      EXPECT_GT(p.level(i).capacity_bytes, p.level(i - 1).capacity_bytes);
+      EXPECT_GE(p.level(i).latency_ns, p.level(i - 1).latency_ns);
+    }
+    // Roof ordering: more chips/threads/streams never lowers a roof.
+    const sim::RwMix mix{2.0, 1.0};
+    const int cores = spec.system.cores_per_chip;
+    const int smt = spec.system.processor.core.smt_threads;
+    double prev = 0.0;
+    for (int chips = 1; chips <= p.chips(); ++chips) {
+      const double roof = p.stream_gbs(chips, cores, smt, mix);
+      EXPECT_GE(roof, prev);
+      prev = roof;
+    }
+    prev = 0.0;
+    for (int threads = 1; threads <= smt; threads *= 2) {
+      const double roof = p.stream_gbs(1, cores, threads, mix);
+      EXPECT_GE(roof, prev);
+      prev = roof;
+    }
+    prev = 0.0;
+    for (int streams = 1; streams <= 32; streams *= 2) {
+      const double roof = p.random_gbs(1, cores, smt, streams);
+      EXPECT_GE(roof, prev);
+      prev = roof;
+    }
+  }
+}
+
+TEST(PredictorProperty, AuditCleanSpecsPredictFiniteAndPositive) {
+  int clean = 0;
+  P8_PROP(gen, 200, 0x9d1c7a11) {
+    const sim::MachineSpec spec = random_spec(gen);
+    if (!spec.audit().ok()) continue;
+    ++clean;
+    const predict::Predictor p(spec);
+    const sim::RwMix mix{gen.real_range(0.0, 4.0), 1.0};
+    const std::uint64_t footprint = gen.range(1, 1ull << 36);
+    const int chip = gen.int_range(0, p.chips() - 1);
+    const int smt = spec.system.processor.core.smt_threads;
+    const double values[] = {
+        p.chase_latency_ns(footprint, gen.chance(0.5) ? 64 * 1024 : 16ull << 20,
+                           chip, 0),
+        p.stream_latency_ns(gen.int_range(0, 7), chip, 0),
+        p.stream_gbs(gen.int_range(1, p.chips()), spec.system.cores_per_chip,
+                     gen.int_range(1, smt), mix),
+        p.system_stream_gbs(mix),
+        p.random_gbs(1, spec.system.cores_per_chip, smt, gen.int_range(1, 64)),
+        p.noc_latency_ns(chip, gen.int_range(0, p.chips() - 1)),
+    };
+    for (double v : values) {
+      EXPECT_TRUE(std::isfinite(v)) << "non-finite prediction";
+      EXPECT_GT(v, 0.0) << "non-positive prediction";
+    }
+  }
+  // The generator must actually exercise the predictor, not skip
+  // everything.
+  EXPECT_GT(clean, 20);
+}
+
+}  // namespace

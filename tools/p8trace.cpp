@@ -8,6 +8,8 @@
 //                  [--json=path] [--accesses=N]
 //   p8trace info   --in=seq.p8t [--json=path]
 //
+//   p8trace diff   <report_a.json> <report_b.json>
+//
 // `record` streams a registered workload generator into a TraceWriter
 // — the trace never materializes in memory, so files much larger than
 // RAM are fine.  `replay` streams the file back through the probe one
@@ -15,8 +17,12 @@
 // same windows the live driver measures, bit for bit.  `run` is the
 // in-memory reference: generator straight into the probe, no file —
 // diffing its counters against `replay`'s is the fidelity check
-// scripts/tier1.sh performs.  Exit codes: 0 ok, 1 trace/simulation
-// error, 2 usage error.
+// scripts/tier1.sh performs.  `diff` compares two --json reports
+// key by key (ignoring the fields expected to differ between a replay
+// and its reference run: mode, trace path, peak RSS) and lists every
+// mismatch — the replay-vs-run identity check, in the tool itself
+// instead of an ad-hoc script.  Exit codes: 0 ok, 1 trace/simulation
+// error or report mismatch, 2 usage error.
 #include <sys/resource.h>
 
 #include <cinttypes>
@@ -25,6 +31,7 @@
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "sim/counters.hpp"
 #include "sim/machine/machine.hpp"
 #include "sim/machine/spec.hpp"
@@ -54,6 +61,7 @@ void usage(std::FILE* to) {
       "  run    --workload=W [--machine=M] [--accesses=N] [--counters=PATH]\n"
       "         [--json=PATH]\n"
       "  info   --in=FILE [--json=PATH]\n"
+      "  diff   REPORT_A.json REPORT_B.json\n"
       "workloads:\n",
       to);
   for (const auto& w : ubench::trace_workloads())
@@ -299,6 +307,136 @@ int cmd_info(common::ArgParser& args) {
   return 0;
 }
 
+// ---- diff -----------------------------------------------------------------
+
+/// Keys expected to differ between a replay report and its in-memory
+/// reference run: the mode tag, the trace path (empty for `run`) and
+/// the wall-clock peak RSS.
+bool diff_ignored_key(const std::string& key) {
+  return key == "mode" || key == "trace" || key == "max_rss_kb";
+}
+
+std::string render_value(const common::Json& v) {
+  switch (v.kind) {
+    case common::Json::Kind::kNull:
+      return "null";
+    case common::Json::Kind::kBool:
+      return v.boolean ? "true" : "false";
+    case common::Json::Kind::kNumber:
+      return common::json_number(v.number);
+    case common::Json::Kind::kString:
+      return common::json_quote(v.string);
+    case common::Json::Kind::kArray:
+      return "<array>";
+    case common::Json::Kind::kObject:
+      return "<object>";
+  }
+  return "<?>";
+}
+
+bool json_equal(const common::Json& a, const common::Json& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case common::Json::Kind::kNull:
+      return true;
+    case common::Json::Kind::kBool:
+      return a.boolean == b.boolean;
+    case common::Json::Kind::kNumber:
+      return a.number == b.number;  // same text parses to the same double
+    case common::Json::Kind::kString:
+      return a.string == b.string;
+    case common::Json::Kind::kArray: {
+      if (a.array.size() != b.array.size()) return false;
+      for (std::size_t i = 0; i < a.array.size(); ++i)
+        if (!json_equal(a.array[i], b.array[i])) return false;
+      return true;
+    }
+    case common::Json::Kind::kObject: {
+      if (a.object.size() != b.object.size()) return false;
+      for (const auto& [key, value] : a.object) {
+        const common::Json* other = b.find(key);
+        if (other == nullptr || !json_equal(value, *other)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc != 2) {
+    std::fputs("error: diff takes exactly two report files\n", stderr);
+    usage(stderr);
+    return 2;
+  }
+  const std::string path_a = argv[0];
+  const std::string path_b = argv[1];
+  common::Json a, b;
+  const auto load = [](const std::string& path, common::Json* doc) {
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      return false;
+    }
+    try {
+      *doc = common::Json::parse(text);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+      return false;
+    }
+    if (!doc->is_object()) {
+      std::fprintf(stderr, "error: %s: not a JSON object\n", path.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!load(path_a, &a) || !load(path_b, &b)) return 1;
+
+  int mismatches = 0;
+  std::size_t compared = 0;
+  for (const auto& [key, value] : a.object) {
+    if (diff_ignored_key(key)) continue;
+    const common::Json* other = b.find(key);
+    if (other == nullptr) {
+      std::printf("DIFF %-16s %s vs <absent>\n", key.c_str(),
+                  render_value(value).c_str());
+      ++mismatches;
+      continue;
+    }
+    ++compared;
+    if (!json_equal(value, *other)) {
+      std::printf("DIFF %-16s %s vs %s\n", key.c_str(),
+                  render_value(value).c_str(), render_value(*other).c_str());
+      ++mismatches;
+    }
+  }
+  for (const auto& [key, value] : b.object) {
+    if (diff_ignored_key(key) || a.find(key) != nullptr) continue;
+    std::printf("DIFF %-16s <absent> vs %s\n", key.c_str(),
+                render_value(value).c_str());
+    ++mismatches;
+  }
+
+  if (mismatches != 0) {
+    std::printf("diff: %d mismatched key%s between %s and %s\n", mismatches,
+                mismatches == 1 ? "" : "s", path_a.c_str(), path_b.c_str());
+    return 1;
+  }
+  std::printf("diff: reports identical on %zu keys\n", compared);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -311,8 +449,9 @@ int main(int argc, char** argv) {
     usage(stdout);
     return 0;
   }
-  // The subcommand is the only positional token; ArgParser sees the
-  // rest.
+  // `diff` is purely positional; every other subcommand hands the rest
+  // of the line to ArgParser.
+  if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
   common::ArgParser args(argc - 1, argv + 1);
   if (cmd == "record") return cmd_record(args);
   if (cmd == "replay") return cmd_replay(args);

@@ -11,6 +11,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . "$@"
+
+# Static-analysis gate first: p8lint is cheap to build and its verdict
+# (determinism/concurrency/counter/contract conventions, fixture
+# corpus self-test) should land before the full build spends minutes.
+cmake --build build -j --target p8lint
+./build/tools/p8lint gate --root=.
+./build/tools/p8lint fixtures --root=.
+
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 

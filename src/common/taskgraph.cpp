@@ -62,8 +62,8 @@ StealDeque::StealDeque(std::size_t capacity_hint) {
 
 void StealDeque::push(TaskId id) {
   const std::int64_t b = bottom_.load();
-  ring_[b & mask_].store(id, std::memory_order_relaxed);
-  bottom_.store(b + 1);  // seq_cst: publishes the slot to thieves
+  ring_[b & mask_].store(id);
+  bottom_.store(b + 1);  // publishes the slot to thieves
 }
 
 bool StealDeque::pop(TaskId& out) {
@@ -74,7 +74,7 @@ bool StealDeque::pop(TaskId& out) {
     bottom_.store(b + 1);
     return false;
   }
-  out = ring_[b & mask_].load(std::memory_order_relaxed);
+  out = ring_[b & mask_].load();
   if (t == b) {
     // Last element: the CAS decides the race against a thief reading
     // the same slot from the top.
@@ -89,15 +89,19 @@ bool StealDeque::steal(TaskId& out) {
   std::int64_t t = top_.load();
   const std::int64_t b = bottom_.load();
   if (t >= b) return false;
-  out = ring_[t & mask_].load(std::memory_order_relaxed);
+  out = ring_[t & mask_].load();
   // A failed CAS means another thief (or the owner's last-element pop)
   // claimed index t first; the caller simply retries elsewhere.
   return top_.compare_exchange_strong(t, t + 1);
 }
 
 std::size_t StealDeque::approx_size() const {
-  const std::int64_t t = top_.load(std::memory_order_relaxed);
-  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  // Advisory only (sizes a steal-half batch); a stale answer merely
+  // mis-sizes one batch, so these reads order nothing.
+  const std::int64_t t =
+      top_.load(std::memory_order_relaxed);  // p8lint: allow(conc-weak-atomic) advisory size; orders nothing
+  const std::int64_t b =
+      bottom_.load(std::memory_order_relaxed);  // p8lint: allow(conc-weak-atomic) advisory size; orders nothing
   return b > t ? static_cast<std::size_t>(b - t) : 0;
 }
 
@@ -182,9 +186,8 @@ void TaskEngine::run(TaskGraph& graph) {
   state.pending = std::vector<std::atomic<std::uint32_t>>(n);
   state.cancelled = std::vector<std::atomic<bool>>(n);
   for (std::size_t i = 0; i < n; ++i) {
-    state.pending[i].store(graph.nodes_[i].dependency_count,
-                           std::memory_order_relaxed);
-    state.cancelled[i].store(false, std::memory_order_relaxed);
+    state.pending[i].store(graph.nodes_[i].dependency_count);
+    state.cancelled[i].store(false);
   }
   state.deques.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w)
@@ -203,7 +206,7 @@ void TaskEngine::run(TaskGraph& graph) {
   state.clock.restart();
   pool_->run_on_all([&](std::size_t w) { worker_loop(state, w); });
   wall_s_ = state.clock.seconds();
-  steals_ = state.steal_count.load(std::memory_order_relaxed);
+  steals_ = state.steal_count.load();
   if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
@@ -211,7 +214,7 @@ void TaskEngine::worker_loop(RunState& state, std::size_t w) {
   StealDeque& own = *state.deques[w];
   const std::size_t workers = state.deques.size();
   std::size_t idle_rounds = 0;
-  while (state.completed.load(std::memory_order_acquire) < state.total) {
+  while (state.completed.load() < state.total) {
     TaskId id = 0;
     if (own.pop(id)) {
       idle_rounds = 0;
@@ -223,7 +226,8 @@ void TaskEngine::worker_loop(RunState& state, std::size_t w) {
       StealDeque& victim = *state.deques[(w + k) % workers];
       if (!victim.steal(id)) continue;
       found = true;
-      state.steal_count.fetch_add(1, std::memory_order_relaxed);
+      state.steal_count.fetch_add(
+          1, std::memory_order_relaxed);  // p8lint: allow(conc-weak-atomic) statistic; read after join only
       // Steal-half: after grabbing one task to run, migrate half of
       // what the victim still holds into our own deque, so a loaded
       // victim is unloaded in O(log) steal rounds instead of one task
@@ -231,7 +235,8 @@ void TaskEngine::worker_loop(RunState& state, std::size_t w) {
       std::size_t extra = victim.approx_size() / 2;
       TaskId moved = 0;
       while (extra-- > 0 && victim.steal(moved)) {
-        state.steal_count.fetch_add(1, std::memory_order_relaxed);
+        state.steal_count.fetch_add(
+            1, std::memory_order_relaxed);  // p8lint: allow(conc-weak-atomic) statistic; read after join only
         records_[moved].stolen = true;
         own.push(moved);
       }
@@ -259,7 +264,7 @@ void TaskEngine::execute(RunState& state, std::size_t w, TaskId id,
   rec.worker = w;
   if (stolen) rec.stolen = true;
   rec.start_s = state.clock.seconds();
-  bool failed = state.cancelled[id].load(std::memory_order_relaxed);
+  bool failed = state.cancelled[id].load();
   rec.cancelled = failed;
   if (!failed) {
     try {
@@ -273,14 +278,13 @@ void TaskEngine::execute(RunState& state, std::size_t w, TaskId id,
   rec.end_s = state.clock.seconds();
   StealDeque& own = *state.deques[w];
   for (const TaskId d : node.dependents) {
-    // The cancellation mark must precede our decrement: the release
-    // sequence on the pending counter then guarantees whoever takes it
-    // to zero — and whoever eventually executes the task — sees it.
-    if (failed) state.cancelled[d].store(true, std::memory_order_relaxed);
-    if (state.pending[d].fetch_sub(1, std::memory_order_acq_rel) == 1)
-      own.push(d);
+    // The cancellation mark must precede our decrement: the seq_cst
+    // decrement then guarantees whoever takes the counter to zero —
+    // and whoever eventually executes the task — sees the mark.
+    if (failed) state.cancelled[d].store(true);
+    if (state.pending[d].fetch_sub(1) == 1) own.push(d);
   }
-  state.completed.fetch_add(1, std::memory_order_release);
+  state.completed.fetch_add(1);
 }
 
 std::string TaskEngine::timeline_json(const std::string& bench) const {

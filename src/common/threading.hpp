@@ -79,8 +79,8 @@ class ThreadPool {
     std::atomic<std::size_t> next{begin};
     run_on_all([&](std::size_t) {
       for (;;) {
-        const std::size_t lo =
-            next.fetch_add(chunk, std::memory_order_relaxed);
+        // p8lint: allow(conc-weak-atomic) ticket counter: claims are unique; results merge after join
+        const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
         if (lo >= end) break;
         const std::size_t hi = std::min(lo + chunk, end);
         for (std::size_t i = lo; i < hi; ++i) body(i);

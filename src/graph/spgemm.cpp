@@ -26,8 +26,8 @@ CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b,
   pool.run_on_all([&](std::size_t worker) {
     Workspace& ws = spaces[worker];
     for (;;) {
-      const std::uint32_t lo =
-          next.fetch_add(options.row_chunk, std::memory_order_relaxed);
+      // p8lint: allow(conc-weak-atomic) ticket counter: each row chunk claimed once; merge after join
+      const std::uint32_t lo = next.fetch_add(options.row_chunk, std::memory_order_relaxed);
       if (lo >= rows) break;
       const std::uint32_t hi = std::min(lo + options.row_chunk, rows);
       for (std::uint32_t i = lo; i < hi; ++i) {

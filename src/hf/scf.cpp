@@ -89,7 +89,8 @@ std::uint64_t ScfSolver::count_nonscreened(double tolerance) const {
     const double qp = schwarz_[p];
     for (std::size_t q = 0; q <= p; ++q)
       if (qp * schwarz_[q] >= tolerance) ++local;
-    kept.fetch_add(local, std::memory_order_relaxed);
+    kept.fetch_add(
+        local, std::memory_order_relaxed);  // p8lint: allow(conc-weak-atomic) count-only reduction; read after join
   });
   return kept.load();
 }
@@ -148,6 +149,7 @@ la::Matrix ScfSolver::fock(const la::Matrix& density,
   pool_.run_on_all([&](std::size_t worker) {
     Partial& acc = partials[worker];
     for (;;) {
+      // p8lint: allow(conc-weak-atomic) ticket counter: each pair claimed once; merge after join
       const std::size_t p = cursor.fetch_add(1, std::memory_order_relaxed);
       if (p >= pairs) break;
       const auto [ii, jj] = decode_pair(p);
@@ -181,6 +183,7 @@ std::vector<PackedEri> ScfSolver::precompute_eris(
   pool_.run_on_all([&](std::size_t worker) {
     auto& out = buckets[worker];
     for (;;) {
+      // p8lint: allow(conc-weak-atomic) ticket counter: each pair claimed once; merge after join
       const std::size_t p = cursor.fetch_add(1, std::memory_order_relaxed);
       if (p >= pairs) break;
       const auto [ii, jj] = decode_pair(p);

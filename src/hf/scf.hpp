@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "common/threading.hpp"
 #include "hf/basis.hpp"
 #include "hf/integrals.hpp"
@@ -71,7 +72,7 @@ struct PackedEri {
   std::uint16_t l = 0;
   double value = 0.0;
 };
-static_assert(sizeof(PackedEri) == 16, "ERI record should pack to 16 B");
+P8_STATIC_REQUIRE(sizeof(PackedEri) == 16, "ERI record should pack to 16 B");
 
 struct ScfResult {
   double energy = 0.0;             ///< total (electronic + nuclear)

@@ -86,8 +86,8 @@ Result all_pairs(const graph::Graph& g, common::ThreadPool& pool,
       return;
     }
     for (;;) {
-      const std::uint32_t lo =
-          next_row.fetch_add(chunk, std::memory_order_relaxed);
+      // p8lint: allow(conc-weak-atomic) ticket counter: each row chunk claimed once; merge after join
+      const std::uint32_t lo = next_row.fetch_add(chunk, std::memory_order_relaxed);
       if (lo >= n) break;
       process_rows(lo, std::min(lo + chunk, n));
     }

@@ -71,6 +71,7 @@ LshResult lsh_similar_pairs(const graph::Graph& g, const MinHash& minhash,
       }
       buckets[key].push_back(v);
     }
+    // p8lint: allow(det-unordered-iter) order only permutes candidate_pairs, which is sorted+deduped below
     for (const auto& [key, members] : buckets) {
       (void)key;
       if (members.size() < 2) continue;

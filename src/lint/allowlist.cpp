@@ -1,0 +1,112 @@
+#include "lint/allowlist.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace p8::lint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool valid_date(const std::string& d) {
+  if (d.size() != 10 || d[4] != '-' || d[7] != '-') return false;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i == 4 || i == 7) continue;
+    if (!std::isdigit(static_cast<unsigned char>(d[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string parse_allowlist(const std::string& text,
+                            const std::string& source_path, Allowlist& out) {
+  out.source_path = source_path;
+  out.entries.clear();
+  std::istringstream lines(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(lines, raw)) {
+    ++lineno;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    AllowEntry entry;
+    entry.line = lineno;
+    std::string expires_field;
+    if (!(fields >> entry.path >> entry.rule >> expires_field)) {
+      return source_path + ":" + std::to_string(lineno) +
+             ": allowlist entry needs `<path> <rule-id> "
+             "expires=<YYYY-MM-DD> <justification>`";
+    }
+    if (expires_field.rfind("expires=", 0) != 0) {
+      return source_path + ":" + std::to_string(lineno) +
+             ": third field must be expires=<YYYY-MM-DD>, got `" +
+             expires_field + "`";
+    }
+    entry.expires = expires_field.substr(8);
+    if (!valid_date(entry.expires)) {
+      return source_path + ":" + std::to_string(lineno) +
+             ": malformed expiry date `" + entry.expires +
+             "` (want YYYY-MM-DD)";
+    }
+    if (find_rule(entry.rule) == nullptr) {
+      return source_path + ":" + std::to_string(lineno) +
+             ": unknown rule-id `" + entry.rule + "` (see `p8lint rules`)";
+    }
+    std::string rest;
+    std::getline(fields, rest);
+    entry.justification = trim(rest);
+    if (entry.justification.size() < 8) {
+      return source_path + ":" + std::to_string(lineno) +
+             ": allowlist entry for " + entry.path + " (" + entry.rule +
+             ") has no real justification — say *why* the finding is "
+             "acceptable";
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  return std::string();
+}
+
+void apply_allowlist(Allowlist& allowlist, const std::string& today,
+                     std::vector<Finding>& findings) {
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& f : findings) {
+    bool suppressed = false;
+    for (AllowEntry& entry : allowlist.entries) {
+      if (entry.path != f.file || entry.rule != f.rule) continue;
+      entry.used = true;  // expired entries count as used, not stale
+      if (today <= entry.expires) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+  findings = std::move(kept);
+  for (const AllowEntry& entry : allowlist.entries) {
+    if (entry.used && today <= entry.expires) continue;
+    if (!entry.used) {
+      findings.push_back(Finding{
+          allowlist.source_path, entry.line, "lint-allowlist",
+          "stale allowlist entry: " + entry.path + " (" + entry.rule +
+              ") suppressed nothing on this run — delete it"});
+    } else {
+      findings.push_back(Finding{
+          allowlist.source_path, entry.line, "lint-allowlist",
+          "allowlist entry for " + entry.path + " (" + entry.rule +
+              ") expired on " + entry.expires +
+              " — fix the finding or renew the entry with a fresh "
+              "justification"});
+    }
+  }
+}
+
+}  // namespace p8::lint

@@ -1,0 +1,51 @@
+// The expiring allowlist: the only sanctioned way to ship a known
+// finding.  One entry per line in `p8lint.allow` at the repo root:
+//
+//   <path> <rule-id> expires=<YYYY-MM-DD> <justification...>
+//
+// with `#` comment lines and blank lines ignored.  Three properties
+// keep the file honest:
+//   * every entry must carry a justification (parse error otherwise —
+//     the gate exits 2, not 1);
+//   * entries expire: past the date they stop suppressing and the
+//     finding resurfaces;
+//   * entries must be *used*: an entry that suppressed nothing on this
+//     run is stale and becomes a `lint-allowlist` finding itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace p8::lint {
+
+struct AllowEntry {
+  std::string path;           // repo-relative file the entry covers
+  std::string rule;           // rule-id it suppresses
+  std::string expires;        // YYYY-MM-DD, inclusive
+  std::string justification;  // free text, required
+  int line = 0;               // line in the allowlist file
+  bool used = false;          // set when the entry suppressed a finding
+};
+
+struct Allowlist {
+  std::string source_path;  // for report attribution
+  std::vector<AllowEntry> entries;
+};
+
+/// Parses the allowlist text.  Returns an empty string on success or a
+/// one-line configuration-error message (missing justification,
+/// unknown rule-id, malformed date/format) — config errors are exit
+/// code 2 territory, never silently ignored.
+std::string parse_allowlist(const std::string& text,
+                            const std::string& source_path, Allowlist& out);
+
+/// Applies the allowlist to `findings` in place: suppresses matching
+/// findings whose entry has not expired, then appends one
+/// `lint-allowlist` finding per expired-but-matching entry and per
+/// stale (unused) entry.  `today` is YYYY-MM-DD.
+void apply_allowlist(Allowlist& allowlist, const std::string& today,
+                     std::vector<Finding>& findings);
+
+}  // namespace p8::lint

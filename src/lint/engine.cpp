@@ -1,0 +1,181 @@
+#include "lint/engine.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace p8::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+constexpr const char* kMarker = "p8lint:";
+
+void bad_annotation(const std::string& path, int line, const std::string& why,
+                    std::vector<Finding>& findings) {
+  findings.push_back(Finding{path, line, "lint-annotation",
+                             "unusable p8lint annotation (" + why +
+                                 ") — it suppresses nothing; the form is "
+                                 "`// p8lint: allow(rule-id) <why>`"});
+}
+
+}  // namespace
+
+std::vector<Annotation> parse_annotations(const std::string& path,
+                                          const std::vector<Token>& tokens,
+                                          std::vector<Finding>& findings) {
+  std::vector<Annotation> annotations;
+  for (const Token& t : tokens) {
+    if (t.kind != Tok::kComment) continue;
+    const std::size_t marker = t.text.find(kMarker);
+    if (marker == std::string::npos) continue;
+    Annotation ann;
+    ann.first_line = t.line;
+    ann.last_line = t.line + static_cast<int>(std::count(
+                                 t.text.begin(), t.text.end(), '\n'));
+    std::string rest = t.text.substr(marker + std::string(kMarker).size());
+    // Strip a block comment's closer so it can't leak into the
+    // justification text.
+    if (rest.size() >= 2 && rest.compare(rest.size() - 2, 2, "*/") == 0)
+      rest.resize(rest.size() - 2);
+    rest = trim(rest);
+    if (rest.rfind("allow(", 0) != 0) {
+      bad_annotation(path, t.line, "expected `allow(...)` after `p8lint:`",
+                     findings);
+      continue;
+    }
+    const std::size_t close = rest.find(')');
+    if (close == std::string::npos) {
+      bad_annotation(path, t.line, "unclosed allow(", findings);
+      continue;
+    }
+    bool ok = true;
+    std::istringstream ids(rest.substr(6, close - 6));
+    std::string id;
+    while (std::getline(ids, id, ',')) {
+      id = trim(id);
+      if (id.empty() || find_rule(id) == nullptr) {
+        bad_annotation(path, t.line, "unknown rule-id `" + id + "`",
+                       findings);
+        ok = false;
+        break;
+      }
+      ann.ids.push_back(id);
+    }
+    if (!ok) continue;
+    if (ann.ids.empty()) {
+      bad_annotation(path, t.line, "empty allow()", findings);
+      continue;
+    }
+    const std::string justification = trim(rest.substr(close + 1));
+    if (justification.size() < 8) {
+      bad_annotation(path, t.line,
+                     "missing justification — say *why* this is safe",
+                     findings);
+      continue;
+    }
+    ann.valid = true;
+    annotations.push_back(std::move(ann));
+  }
+  return annotations;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view content,
+                                 const std::string* counters_doc) {
+  const std::vector<Token> tokens = lex(content);
+
+  FileContext ctx;
+  ctx.path = path;
+  ctx.tokens = &tokens;
+  ctx.counters_doc = counters_doc;
+  for (std::size_t i = 0; i < tokens.size(); ++i)
+    if (is_code(tokens[i].kind)) ctx.code.push_back(i);
+
+  std::vector<Finding> findings;
+  const std::vector<Annotation> annotations =
+      parse_annotations(path, tokens, findings);
+
+  std::vector<Finding> raw;
+  for (const Rule& rule : rules()) rule.check(ctx, raw);
+
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (const Annotation& ann : annotations) {
+      if (!ann.valid) continue;
+      if (f.line < ann.first_line || f.line > ann.last_line + 1) continue;
+      if (std::find(ann.ids.begin(), ann.ids.end(), f.rule) != ann.ids.end()) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+std::vector<std::string> discover_sources(const std::string& root) {
+  std::vector<std::string> paths;
+  for (const char* tree : {"src", "bench", "tools", "examples"}) {
+    const fs::path base = fs::path(root) / tree;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      paths.push_back(
+          fs::relative(it->path(), root, ec).generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+}
+
+std::string format_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings)
+    out << f.file << ":" << f.line << ": " << f.rule << ": " << f.message
+        << "\n";
+  return out.str();
+}
+
+std::string format_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i ? ",\n " : "\n ") << "{\"file\": " << common::json_quote(f.file)
+        << ", \"line\": " << f.line
+        << ", \"rule\": " << common::json_quote(f.rule)
+        << ", \"message\": " << common::json_quote(f.message) << "}";
+  }
+  out << (findings.empty() ? "]" : "\n]");
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace p8::lint

@@ -1,0 +1,66 @@
+// The p8lint engine: glue between the scanner, the rule registry and
+// the allowlist.  One call lints one buffer; the CLI composes these
+// over the discovered tree (gate), an explicit file list (check), or
+// the fixture corpus (fixtures).
+//
+// Inline suppression: a comment of the form
+//
+//   // p8lint: allow(conc-weak-atomic) relaxed counter is stats-only
+//
+// (the keyword, one or more comma-separated rule-ids in allow(), then
+// a free-text justification) suppresses those rules' findings on the
+// comment's own line(s) and
+// the line immediately after — close enough to the code that a reader
+// sees why.  A malformed annotation (unknown rule-id, missing or
+// trivial justification) suppresses nothing and is itself a
+// `lint-annotation` finding, so a typo can never silently widen a
+// hole.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace p8::lint {
+
+/// One parsed allow() annotation comment.
+struct Annotation {
+  int first_line = 0;         // line the comment starts on
+  int last_line = 0;          // line the comment ends on (block comments)
+  std::vector<std::string> ids;
+  bool valid = false;         // only valid annotations suppress
+};
+
+/// Extracts annotations from a token stream's comment tokens.
+/// Malformed ones come back with valid=false and a diagnostic
+/// appended to `findings` under rule `lint-annotation`.
+std::vector<Annotation> parse_annotations(const std::string& path,
+                                          const std::vector<Token>& tokens,
+                                          std::vector<Finding>& findings);
+
+/// Lints one buffer as if it lived at repo-relative `path`: lexes,
+/// runs every registered rule, applies inline annotations.  The
+/// allowlist is NOT applied here — that is a whole-run concern.
+/// `counters_doc` is docs/COUNTERS.md's text, or nullptr to skip the
+/// counter-undocumented check.
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view content,
+                                 const std::string* counters_doc);
+
+/// Walks `root`'s lintable trees (src/, bench/, tools/, examples/)
+/// and returns repo-relative '/'-separated paths of every .cpp/.hpp,
+/// sorted, so reports are stable across filesystems.
+std::vector<std::string> discover_sources(const std::string& root);
+
+/// Sorts findings into report order (file, line, rule, message).
+void sort_findings(std::vector<Finding>& findings);
+
+/// `file:line: rule-id: message` lines, one per finding.
+std::string format_text(const std::vector<Finding>& findings);
+
+/// A JSON array of {file, line, rule, message} objects.
+std::string format_json(const std::vector<Finding>& findings);
+
+}  // namespace p8::lint

@@ -1,0 +1,376 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace p8::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' ||
+         c == '\f';
+}
+
+/// Encoding prefixes that glue onto a following quote.
+bool is_string_prefix(std::string_view id) {
+  return id == "L" || id == "u" || id == "U" || id == "u8";
+}
+
+bool is_raw_prefix(std::string_view id) {
+  return id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+}
+
+/// The directive word of a preprocessor line ("if", "endif", ...),
+/// with splices removed first so `#i\<newline>f` still reads as "if".
+struct Directive {
+  std::string word;
+  std::string rest;  // everything after the word, trimmed left
+};
+
+Directive parse_directive(std::string_view text) {
+  std::string flat;
+  flat.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size() &&
+        (text[i + 1] == '\n' ||
+         (text[i + 1] == '\r' && i + 2 < text.size() && text[i + 2] == '\n'))) {
+      i += text[i + 1] == '\r' ? 2 : 1;
+      continue;
+    }
+    flat.push_back(text[i]);
+  }
+  Directive d;
+  std::size_t i = 0;
+  while (i < flat.size() && is_space(flat[i])) ++i;
+  if (i < flat.size() && flat[i] == '#') ++i;
+  while (i < flat.size() && is_space(flat[i])) ++i;
+  while (i < flat.size() && is_ident_char(flat[i])) d.word.push_back(flat[i++]);
+  while (i < flat.size() && is_space(flat[i])) ++i;
+  d.rest = flat.substr(i);
+  return d;
+}
+
+/// True when an `#if` directive's condition is the literal 0 — the
+/// convention for parking dead code, which must not be linted.
+bool condition_is_zero(const std::string& rest) {
+  if (rest.empty() || rest[0] != '0') return false;
+  if (rest.size() == 1) return true;
+  const char next = rest[1];
+  if (is_space(next)) return true;
+  return rest.compare(1, 2, "//") == 0 || rest.compare(1, 2, "/*") == 0;
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    while (pos_ < text_.size()) scan_one();
+    return std::move(out_);
+  }
+
+ private:
+  char at(std::size_t i) const { return i < text_.size() ? text_[i] : '\0'; }
+
+  /// Emits [start, end) as one token.  Tracks the running line count
+  /// and the at-line-start flag the directive recognizer needs.
+  void emit(Tok kind, std::size_t start, std::size_t end) {
+    Token t;
+    t.kind = kind;
+    t.text.assign(text_.substr(start, end - start));
+    t.offset = start;
+    t.line = line_;
+    for (const char c : t.text)
+      if (c == '\n') ++line_;
+    if (kind == Tok::kWhitespace) {
+      if (t.text.find('\n') != std::string::npos) at_line_start_ = true;
+    } else if (kind == Tok::kPreprocessor || kind == Tok::kDisabled) {
+      at_line_start_ = true;  // both end at a line boundary
+    } else if (kind != Tok::kComment) {
+      at_line_start_ = false;  // comments are whitespace to a directive
+    }
+    out_.push_back(std::move(t));
+    pos_ = end;
+  }
+
+  /// One past the end of the current physical line (the '\n' itself is
+  /// left for the following whitespace token).
+  std::size_t end_of_line(std::size_t i) const {
+    while (i < text_.size() && text_[i] != '\n') ++i;
+    return i;
+  }
+
+  /// End of a line honoring backslash continuations, for directives
+  /// and // comments: a line whose last non-CR byte is '\' continues.
+  std::size_t end_of_spliced_line(std::size_t i) const {
+    for (;;) {
+      const std::size_t eol = end_of_line(i);
+      std::size_t last = eol;
+      if (last > i && text_[last - 1] == '\r') --last;
+      if (last > i && text_[last - 1] == '\\' && eol < text_.size())
+        i = eol + 1;
+      else
+        return eol;
+    }
+  }
+
+  void scan_one() {
+    const std::size_t start = pos_;
+    const char c = text_[start];
+
+    if (is_space(c)) {
+      std::size_t i = start;
+      while (i < text_.size() && is_space(text_[i])) ++i;
+      emit(Tok::kWhitespace, start, i);
+      return;
+    }
+    if (c == '/' && at(start + 1) == '/') {
+      emit(Tok::kComment, start, end_of_spliced_line(start));
+      return;
+    }
+    if (c == '/' && at(start + 1) == '*') {
+      const std::size_t close = text_.find("*/", start + 2);
+      emit(Tok::kComment, start,
+           close == std::string_view::npos ? text_.size() : close + 2);
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      scan_directive(start);
+      return;
+    }
+    if (c == '"') {
+      scan_string(start, start);
+      return;
+    }
+    if (c == '\'') {
+      scan_char(start, start);
+      return;
+    }
+    if (is_digit(c) || (c == '.' && is_digit(at(start + 1)))) {
+      scan_number(start);
+      return;
+    }
+    if (is_ident_start(c)) {
+      std::size_t i = start;
+      while (i < text_.size() && is_ident_char(text_[i])) ++i;
+      const std::string_view id = text_.substr(start, i - start);
+      if (at(i) == '"' && is_raw_prefix(id)) {
+        scan_raw_string(start, i);
+        return;
+      }
+      if (at(i) == '"' && is_string_prefix(id)) {
+        scan_string(start, i);
+        return;
+      }
+      if (at(i) == '\'' && is_string_prefix(id)) {
+        scan_char(start, i);
+        return;
+      }
+      emit(Tok::kIdentifier, start, i);
+      return;
+    }
+    emit(Tok::kPunct, start, start + 1);
+  }
+
+  /// A whole directive line (continuations included).  An `#if 0`
+  /// additionally swallows its region into one kDisabled span, so the
+  /// rules never see parked code.
+  void scan_directive(std::size_t start) {
+    const std::size_t eol = end_of_spliced_line(start);
+    const Directive d = parse_directive(text_.substr(start, eol - start));
+    emit(Tok::kPreprocessor, start, eol);
+    if (d.word != "if" || !condition_is_zero(d.rest)) return;
+
+    // Disabled region: whole physical lines until the matching #endif
+    // / #else / #elif, which itself lexes normally afterwards.
+    std::size_t i = pos_;
+    int depth = 0;
+    const std::size_t region_start = pos_;
+    while (i < text_.size()) {
+      std::size_t line_begin = i;
+      if (text_[line_begin] == '\n') line_begin += 1;  // step off the EOL
+      std::size_t j = line_begin;
+      while (j < text_.size() && (text_[j] == ' ' || text_[j] == '\t')) ++j;
+      if (j < text_.size() && text_[j] == '#') {
+        const std::size_t deol = end_of_spliced_line(j);
+        const Directive inner =
+            parse_directive(text_.substr(j, deol - j));
+        if (inner.word == "if" || inner.word == "ifdef" ||
+            inner.word == "ifndef") {
+          ++depth;
+        } else if (inner.word == "endif") {
+          if (depth == 0) {
+            if (line_begin > region_start)
+              emit(Tok::kDisabled, region_start, line_begin);
+            return;
+          }
+          --depth;
+        } else if ((inner.word == "else" || inner.word == "elif") &&
+                   depth == 0) {
+          if (line_begin > region_start)
+            emit(Tok::kDisabled, region_start, line_begin);
+          return;
+        }
+        i = deol;
+      } else {
+        i = end_of_line(line_begin);
+      }
+      if (i < text_.size()) ++i;  // consume the newline into the region
+    }
+    if (text_.size() > region_start)
+      emit(Tok::kDisabled, region_start, text_.size());
+  }
+
+  /// "...": escapes consumed pairwise, so \" and a backslash-newline
+  /// splice both stay inside.  Unterminated: the token ends at the
+  /// line break (strings do not span raw newlines).
+  void scan_string(std::size_t start, std::size_t quote) {
+    std::size_t i = quote + 1;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (c == '\\' && i + 1 < text_.size()) {
+        i += 2;
+        continue;
+      }
+      if (c == '"') {
+        emit(Tok::kString, start, i + 1);
+        return;
+      }
+      if (c == '\n') break;
+      ++i;
+    }
+    emit(Tok::kString, start, i);
+  }
+
+  /// R"delim(...)delim" — verbatim bytes, no escapes.  A malformed
+  /// opener (no '(' within the 16-char delimiter budget) falls back to
+  /// ordinary string scanning; a missing closer runs to EOF.
+  void scan_raw_string(std::size_t start, std::size_t quote) {
+    std::size_t i = quote + 1;
+    std::string delim;
+    while (i < text_.size() && text_[i] != '(' && text_[i] != '\n' &&
+           delim.size() <= 16)
+      delim.push_back(text_[i++]);
+    if (i >= text_.size() || text_[i] != '(') {
+      scan_string(start, quote);
+      return;
+    }
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t close = text_.find(closer, i + 1);
+    emit(Tok::kRawString, start,
+         close == std::string_view::npos ? text_.size()
+                                         : close + closer.size());
+  }
+
+  /// Char literal, defensively: hostile inputs (a lone apostrophe in
+  /// prose pasted into a fixture) must not swallow the rest of the
+  /// line, so the closing quote has to appear within a short window on
+  /// the same line — otherwise the quote is just punctuation.
+  void scan_char(std::size_t start, std::size_t quote) {
+    std::size_t i = quote + 1;
+    const std::size_t limit = quote + 24;
+    while (i < text_.size() && i < limit && text_[i] != '\n') {
+      if (text_[i] == '\\' && i + 1 < text_.size()) {
+        i += 2;
+        continue;
+      }
+      if (text_[i] == '\'') {
+        emit(Tok::kCharLit, start, i + 1);
+        return;
+      }
+      ++i;
+    }
+    // Not a literal: re-emit the encoding prefix (if any) as the
+    // identifier it is, then the quote as punctuation.
+    if (quote > start) emit(Tok::kIdentifier, start, quote);
+    emit(Tok::kPunct, quote, quote + 1);
+  }
+
+  /// pp-number: digits, letters, dots, digit separators (' between
+  /// alphanumerics) and signed exponents (1e+3, 0x1p-2).
+  void scan_number(std::size_t start) {
+    std::size_t i = start;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (is_ident_char(c) || c == '.') {
+        ++i;
+        continue;
+      }
+      if (c == '\'' && i > start && is_ident_char(text_[i - 1]) &&
+          is_ident_char(at(i + 1))) {
+        ++i;
+        continue;
+      }
+      if ((c == '+' || c == '-') && i > start &&
+          (text_[i - 1] == 'e' || text_[i - 1] == 'E' ||
+           text_[i - 1] == 'p' || text_[i - 1] == 'P')) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    emit(Tok::kNumber, start, i);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view text) { return Scanner(text).run(); }
+
+bool is_code(Tok kind) {
+  switch (kind) {
+    case Tok::kIdentifier:
+    case Tok::kNumber:
+    case Tok::kString:
+    case Tok::kRawString:
+    case Tok::kCharLit:
+    case Tok::kPunct:
+      return true;
+    case Tok::kComment:
+    case Tok::kPreprocessor:
+    case Tok::kDisabled:
+    case Tok::kWhitespace:
+      return false;
+  }
+  return false;
+}
+
+std::string string_payload(const Token& token) {
+  const std::string& t = token.text;
+  if (token.kind == Tok::kString) {
+    const std::size_t open = t.find('"');
+    if (open == std::string::npos) return t;
+    std::size_t close = t.size();
+    if (close > open + 1 && t[close - 1] == '"') --close;
+    return t.substr(open + 1, close - open - 1);
+  }
+  if (token.kind == Tok::kRawString) {
+    const std::size_t open = t.find('(');
+    if (open == std::string::npos) return t;
+    // )delim" at the end mirrors delim( after the opening quote.
+    const std::size_t quote = t.find('"');
+    const std::size_t delim_len = open - quote - 1;
+    const std::size_t tail = delim_len + 2;  // )delim"
+    if (t.size() < open + 1 + tail) return t.substr(open + 1);
+    return t.substr(open + 1, t.size() - open - 1 - tail);
+  }
+  return t;
+}
+
+}  // namespace p8::lint

@@ -1,0 +1,59 @@
+// p8lint's token scanner: a lightweight, lossless C++ lexer.
+//
+// The rules in rules.hpp reason about *identifier* and *string* tokens
+// — "is `memory_order_relaxed` used here", "does this literal match
+// the counter grammar" — so the scanner's one job is to classify bytes
+// correctly enough that a mention inside a comment, a string literal,
+// a raw string, or an `#if 0` region never masquerades as code.  It is
+// not a compiler front end: no preprocessing, no name lookup, no
+// template parsing.
+//
+// Losslessness contract (pinned by lint_test's P8_PROP round trip):
+// the tokens partition the input — concatenating `text` over the token
+// vector reproduces the file byte for byte, every token's `offset` is
+// its exact byte position, and no token is empty.  Hostile input
+// (unterminated literals, a raw string with no closing delimiter,
+// splices mid-token) degrades classification, never coverage.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p8::lint {
+
+enum class Tok {
+  kIdentifier,    // keywords included: `volatile` is an identifier here
+  kNumber,        // pp-number: 0x1p3, 1'000'000, 1.5e-3
+  kString,        // "..." with escapes, encoding prefixes merged
+  kRawString,     // R"delim(...)delim" verbatim, prefix merged
+  kCharLit,       // 'x', '\n'; digit separators do NOT land here
+  kPunct,         // one punctuation byte (or a stray quote)
+  kComment,       // // to end of line (splice-aware) or /* ... */
+  kPreprocessor,  // a whole directive line, continuations included
+  kDisabled,      // the body of an `#if 0` region, one span
+  kWhitespace,    // the bytes between everything else
+};
+
+struct Token {
+  Tok kind = Tok::kWhitespace;
+  std::string text;        // verbatim bytes, never empty
+  std::size_t offset = 0;  // byte offset of text[0] in the input
+  int line = 1;            // 1-based line of text[0]
+};
+
+/// Scans `text` into a lossless token stream (see the contract above).
+/// Never throws on any byte sequence.
+std::vector<Token> lex(std::string_view text);
+
+/// True for the token kinds rules should reason about (identifier,
+/// number, string, raw string, char literal, punctuation) — the
+/// comment/preprocessor/disabled/whitespace channels carry no code.
+bool is_code(Tok kind);
+
+/// The literal's payload: text between the quotes of a kString /
+/// kRawString token (prefix, delimiters and quotes stripped, escapes
+/// NOT processed).  Returns `text` unchanged for other kinds.
+std::string string_payload(const Token& token);
+
+}  // namespace p8::lint

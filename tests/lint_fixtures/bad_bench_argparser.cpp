@@ -1,0 +1,8 @@
+// p8lint-fixture: path=bench/bench_fixture_noargs.cpp expect=bench-argparser
+// Deliberately bad: a bench binary with hand-rolled flag handling.
+#include <cstdio>
+
+int main() {
+  std::puts("bench with no ArgParser");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// p8lint-fixture: path=bench/bench_fixture_audit.cpp expect=bench-audit-gate
+// Deliberately bad: constructs a sim::Machine and simulates without
+// ever consulting its model audit.
+struct Machine;
+Machine* build_machine(const char* name);
+void run(Machine&);
+
+int main(int argc, char** argv) {
+  p8::common::ArgParser args(argc, argv);
+  const char* name = machine_arg(args);
+  Machine* machine = build_machine(name);
+  run(*machine);
+  return 0;
+}

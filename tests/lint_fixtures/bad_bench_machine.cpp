@@ -1,0 +1,15 @@
+// p8lint-fixture: path=bench/bench_fixture_machine.cpp expect=bench-machine-flag
+// Deliberately bad: simulates a hard-coded machine with no --machine=
+// selector, though it does gate on the model audit.
+struct Machine;
+Machine* default_machine();
+void gate_model(Machine&);
+void run(Machine&);
+
+int main(int argc, char** argv) {
+  p8::common::ArgParser args(argc, argv);
+  Machine* machine = default_machine();
+  gate_model(*machine);
+  run(*machine);
+  return 0;
+}

@@ -1,0 +1,5 @@
+// p8lint-fixture: path=src/common/fixture_detach.cpp expect=conc-detach
+// Deliberately bad: a detached thread that nothing ever joins.
+#include <thread>
+
+void fire() { std::thread([] {}).detach(); }

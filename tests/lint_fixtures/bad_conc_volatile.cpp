@@ -1,0 +1,5 @@
+// p8lint-fixture: path=src/common/fixture_volatile.cpp expect=conc-volatile
+// Deliberately bad: volatile used as a synchronization flag.
+volatile int g_done = 0;
+
+void finish() { g_done = 1; }

@@ -1,0 +1,7 @@
+// p8lint-fixture: path=src/common/fixture_atomic.cpp expect=conc-weak-atomic
+// Deliberately bad: a relaxed load with no justification annotation.
+#include <atomic>
+
+int peek(const std::atomic<int>& v) {
+  return v.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,3 @@
+// p8lint-fixture: path=src/sim/fixture_static.hpp expect=contract-static-assert
+// Deliberately bad: a bare static_assert instead of P8_STATIC_REQUIRE.
+static_assert(sizeof(int) == 4, "fixture expects 32-bit int");

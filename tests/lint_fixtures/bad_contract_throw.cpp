@@ -1,0 +1,6 @@
+// p8lint-fixture: path=src/sim/fixture_hot.hpp expect=contract-throw-header
+// Deliberately bad: a bare throw in a hot-path header.
+inline int pick(int i) {
+  if (i < 0) throw i;
+  return i;
+}

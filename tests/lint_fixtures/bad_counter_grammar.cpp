@@ -1,0 +1,6 @@
+// p8lint-fixture: path=src/sim/fixture_counter.cpp expect=counter-name-grammar
+// Deliberately bad: a counter name violating the dotted grammar.
+struct Reg;
+unsigned long* make_counter(Reg& r, const char* prefix, const char* name);
+
+unsigned long* reg(Reg& r) { return make_counter(r, "l3.victim", "Hits!"); }

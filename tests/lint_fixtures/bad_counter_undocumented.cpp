@@ -1,0 +1,9 @@
+// p8lint-fixture: path=src/sim/fixture_undoc.cpp expect=counter-undocumented
+// Deliberately bad: a grammatical counter name docs/COUNTERS.md has
+// never heard of.
+struct Reg;
+unsigned long* make_counter(Reg& r, const char* prefix, const char* name);
+
+unsigned long* reg(Reg& r) {
+  return make_counter(r, "zz9.plural", "zebra_qqz");
+}

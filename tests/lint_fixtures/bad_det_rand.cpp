@@ -1,0 +1,7 @@
+// p8lint-fixture: path=src/sim/fixture_rand.cpp expect=det-rand
+// Deliberately bad: libc RNG inside model code.  Never compiled —
+// p8lint's fixture runner lints this buffer as if it lived at the
+// path above.
+#include <cstdlib>
+
+int noise() { return std::rand() % 7; }

@@ -1,0 +1,8 @@
+// p8lint-fixture: path=src/predict/fixture_unordered.cpp expect=det-unordered-iter
+// Deliberately bad: hash-order iteration feeding printed output.
+#include <cstdio>
+#include <unordered_map>
+
+void dump(const std::unordered_map<int, int>& table) {
+  for (const auto& kv : table) std::printf("%d\n", kv.second);
+}

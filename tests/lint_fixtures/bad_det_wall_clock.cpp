@@ -1,0 +1,5 @@
+// p8lint-fixture: path=src/trace/fixture_clock.cpp expect=det-wall-clock
+// Deliberately bad: wall-clock read inside model code.
+#include <ctime>
+
+long stamp() { return static_cast<long>(time(nullptr)); }

@@ -1,0 +1,10 @@
+// p8lint-fixture: path=src/common/fixture_annot.cpp expect=lint-annotation,conc-weak-atomic
+// Deliberately bad: the annotation has no justification, so it
+// suppresses nothing — both the annotation complaint and the finding
+// it failed to cover must surface.
+#include <atomic>
+
+// p8lint: allow(conc-weak-atomic)
+int peek(const std::atomic<int>& v) {
+  return v.load(std::memory_order_relaxed);
+}

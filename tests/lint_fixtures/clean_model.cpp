@@ -1,0 +1,21 @@
+// p8lint-fixture: path=src/sim/fixture_clean.cpp expect=none
+// Clean twin: every banned spelling below sits where the scanner must
+// NOT see code — comments, string literals, raw strings, an #if 0
+// region — plus one weak atomic properly justified inline.  Zero
+// findings expected.
+#include <atomic>
+
+// std::rand() and gettimeofday() in a comment are not findings.
+static const char* kMsg = "calls time(nullptr) and std::rand() at will";
+static const char* kRaw = R"lint(volatile int x; t.detach();)lint";
+
+#if 0
+int disabled() { return std::rand(); }  // never seen: #if 0 region
+#endif
+
+const char* message() { return kMsg ? kMsg : kRaw; }
+
+int peek(const std::atomic<int>& v) {
+  // p8lint: allow(conc-weak-atomic) statistics-only read; no ordering needed
+  return v.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,346 @@
+// p8lint — the project-aware static analyzer (src/lint).
+//
+//   p8lint gate     [--root=DIR] [--allowlist=FILE] [--today=YYYY-MM-DD]
+//                   [--json]
+//   p8lint check    FILE... [--root=DIR] [--json]
+//   p8lint fixtures [--root=DIR] [--dir=tests/lint_fixtures]
+//   p8lint rules
+//
+// `gate` lints every .cpp/.hpp under src/, bench/, tools/ and
+// examples/, applies the expiring allowlist (p8lint.allow), and fails
+// on any finding — the form ctest, scripts/tier1.sh and CI run.
+// `check` lints explicit files with no allowlist: the WILL_FAIL ctest
+// twin points it at a deliberately bad fixture.  `fixtures` runs the
+// self-test corpus in tests/lint_fixtures: each fixture declares the
+// path it pretends to live at and the exact rule set it must trip, and
+// the run also fails if any registered rule is never exercised by the
+// corpus.  `rules` lists the registry.  The `--gate` / `--fixtures`
+// spellings are accepted as aliases.  Exit codes: 0 clean, 1 findings
+// or fixture mismatch, 2 usage/configuration error (malformed
+// allowlist, unreadable file) — gating scripts treat 1 and 2
+// differently on purpose: 2 means the lint setup itself is broken.
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "lint/allowlist.hpp"
+#include "lint/engine.hpp"
+#include "lint/rules.hpp"
+
+namespace {
+
+using namespace p8;
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: p8lint <gate|check|fixtures|rules> [options]\n"
+      "  gate     [--root=DIR] [--allowlist=FILE] [--today=YYYY-MM-DD]"
+      " [--json]\n"
+      "  check    FILE... [--root=DIR] [--json]\n"
+      "  fixtures [--root=DIR] [--dir=PATH]\n"
+      "  rules\n"
+      "exit: 0 clean, 1 findings, 2 usage/config error\n",
+      to);
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+std::string today_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[16];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm_utc);
+  return buf;
+}
+
+void print_findings(const std::vector<lint::Finding>& findings, bool json) {
+  const std::string report =
+      json ? lint::format_json(findings) : lint::format_text(findings);
+  std::fputs(report.c_str(), stdout);
+}
+
+/// docs/COUNTERS.md under --root; nullopt-by-empty when absent.
+bool load_counters_doc(const std::string& root, std::string& doc) {
+  return read_file(root + "/docs/COUNTERS.md", doc);
+}
+
+int run_gate(common::ArgParser& args) {
+  const std::string root = args.get_string("root", ".", "repo root to scan");
+  const std::string allow_path = args.get_string(
+      "allowlist", "", "allowlist file (default ROOT/p8lint.allow)");
+  const std::string today =
+      args.get_string("today", "", "override today's date (YYYY-MM-DD)");
+  const bool json = args.get_flag("json", "emit findings as JSON");
+  if (!args.unknown_args().empty()) return 2;
+
+  std::string counters_doc;
+  if (!load_counters_doc(root, counters_doc)) {
+    std::fprintf(stderr,
+                 "p8lint: %s/docs/COUNTERS.md is unreadable — the "
+                 "counter-undocumented rule has nothing to check against\n",
+                 root.c_str());
+    return 2;
+  }
+
+  std::vector<lint::Finding> findings;
+  const std::vector<std::string> sources = lint::discover_sources(root);
+  if (sources.empty()) {
+    std::fprintf(stderr, "p8lint: no sources found under %s\n", root.c_str());
+    return 2;
+  }
+  for (const std::string& rel : sources) {
+    std::string content;
+    if (!read_file(root + "/" + rel, content)) {
+      std::fprintf(stderr, "p8lint: cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    std::vector<lint::Finding> file_findings =
+        lint::lint_source(rel, content, &counters_doc);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  const std::string resolved_allow =
+      allow_path.empty() ? root + "/p8lint.allow" : allow_path;
+  std::string allow_text;
+  if (read_file(resolved_allow, allow_text)) {
+    lint::Allowlist allowlist;
+    const std::string err =
+        lint::parse_allowlist(allow_text, "p8lint.allow", allowlist);
+    if (!err.empty()) {
+      std::fprintf(stderr, "p8lint: %s\n", err.c_str());
+      return 2;
+    }
+    lint::apply_allowlist(allowlist,
+                          today.empty() ? today_utc() : today, findings);
+  }
+
+  lint::sort_findings(findings);
+  print_findings(findings, json);
+  if (findings.empty()) {
+    if (!json)
+      std::fprintf(stdout, "p8lint: clean (%zu files, %zu rules)\n",
+                   sources.size(), lint::rules().size());
+    return 0;
+  }
+  std::fprintf(stderr, "p8lint: %zu finding(s)\n", findings.size());
+  return 1;
+}
+
+/// A fixture's first line:
+///   // p8lint-fixture: path=src/sim/x.cpp expect=det-rand,conc-volatile
+/// `expect=none` declares a clean fixture.
+bool parse_fixture_directive(const std::string& content, std::string& as_path,
+                             std::set<std::string>& expect) {
+  const std::string prefix = "// p8lint-fixture:";
+  if (content.rfind(prefix, 0) != 0) return false;
+  const std::size_t eol = content.find('\n');
+  std::istringstream fields(content.substr(
+      prefix.size(), eol == std::string::npos ? eol : eol - prefix.size()));
+  std::string field;
+  bool saw_expect = false;
+  while (fields >> field) {
+    if (field.rfind("path=", 0) == 0) {
+      as_path = field.substr(5);
+    } else if (field.rfind("expect=", 0) == 0) {
+      saw_expect = true;
+      std::istringstream ids(field.substr(7));
+      std::string id;
+      while (std::getline(ids, id, ','))
+        if (!id.empty() && id != "none") expect.insert(id);
+    } else {
+      return false;
+    }
+  }
+  return !as_path.empty() && saw_expect;
+}
+
+int run_check(common::ArgParser& args, const std::vector<std::string>& files) {
+  const std::string root =
+      args.get_string("root", ".", "repo root (for docs/COUNTERS.md)");
+  const bool json = args.get_flag("json", "emit findings as JSON");
+  if (!args.unknown_args().empty()) return 2;
+  if (files.empty()) {
+    std::fputs("p8lint: check needs at least one file\n", stderr);
+    return 2;
+  }
+
+  std::string counters_doc;
+  const bool have_doc = load_counters_doc(root, counters_doc);
+
+  std::vector<lint::Finding> findings;
+  for (const std::string& file : files) {
+    std::string content;
+    if (!read_file(file, content)) {
+      std::fprintf(stderr, "p8lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    // A fixture directive relocates the buffer to its pretend path so
+    // path-scoped rules fire the same way the corpus run sees them.
+    std::string as_path = file;
+    std::set<std::string> ignored;
+    parse_fixture_directive(content, as_path, ignored);
+    std::vector<lint::Finding> file_findings = lint::lint_source(
+        as_path, content, have_doc ? &counters_doc : nullptr);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  lint::sort_findings(findings);
+  print_findings(findings, json);
+  return findings.empty() ? 0 : 1;
+}
+
+int run_fixtures(common::ArgParser& args) {
+  const std::string root = args.get_string("root", ".", "repo root");
+  const std::string dir = args.get_string("dir", "tests/lint_fixtures",
+                                          "fixture corpus (under root)");
+  if (!args.unknown_args().empty()) return 2;
+
+  std::string counters_doc;
+  const bool have_doc = load_counters_doc(root, counters_doc);
+
+  // discover_sources walks the canonical trees; the corpus sits apart
+  // in tests/ exactly so the gate never scans it, so walk it here.
+  std::vector<std::string> fixtures;
+  {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (fs::directory_iterator it(fs::path(root) / dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->path().extension() == ".cpp")
+        fixtures.push_back(it->path().filename().string());
+    }
+    std::sort(fixtures.begin(), fixtures.end());
+  }
+  if (fixtures.empty()) {
+    std::fprintf(stderr, "p8lint: no fixtures under %s/%s\n", root.c_str(),
+                 dir.c_str());
+    return 2;
+  }
+
+  int failures = 0;
+  std::set<std::string> tripped_anywhere;
+  for (const std::string& name : fixtures) {
+    std::string content;
+    if (!read_file(root + "/" + dir + "/" + name, content)) {
+      std::fprintf(stderr, "p8lint: cannot read fixture %s\n", name.c_str());
+      return 2;
+    }
+    std::string as_path;
+    std::set<std::string> expect;
+    if (!parse_fixture_directive(content, as_path, expect)) {
+      std::fprintf(stderr,
+                   "p8lint: %s has no `// p8lint-fixture: path=... "
+                   "expect=...` first line\n",
+                   name.c_str());
+      return 2;
+    }
+    const std::vector<lint::Finding> findings = lint::lint_source(
+        as_path, content, have_doc ? &counters_doc : nullptr);
+    std::set<std::string> tripped;
+    for (const lint::Finding& f : findings) tripped.insert(f.rule);
+    tripped_anywhere.insert(tripped.begin(), tripped.end());
+    if (tripped == expect) {
+      std::fprintf(stdout, "PASS %s\n", name.c_str());
+      continue;
+    }
+    ++failures;
+    std::fprintf(stdout, "FAIL %s\n", name.c_str());
+    for (const std::string& id : expect)
+      if (tripped.count(id) == 0)
+        std::fprintf(stdout, "  expected %s: did not trip\n", id.c_str());
+    for (const lint::Finding& f : findings)
+      if (expect.count(f.rule) == 0)
+        std::fprintf(stdout, "  unexpected %s:%d: %s: %s\n", f.file.c_str(),
+                     f.line, f.rule.c_str(), f.message.c_str());
+  }
+
+  // Corpus coverage: every registered rule must trip at least once, so
+  // a rule can never silently rot into a no-op.
+  for (const lint::Rule& rule : lint::rules()) {
+    if (tripped_anywhere.count(rule.id) != 0) continue;
+    ++failures;
+    std::fprintf(stdout, "FAIL corpus: rule %s never tripped\n", rule.id);
+  }
+
+  std::fprintf(stdout, "p8lint fixtures: %zu fixture(s), %d failure(s)\n",
+               fixtures.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int run_rules() {
+  for (const lint::Rule& rule : lint::rules())
+    std::fprintf(stdout, "%-24s %s\n", rule.id, rule.summary);
+  std::fprintf(stdout, "%zu rules\n", lint::rules().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+  std::string cmd = argv[1];
+  while (!cmd.empty() && cmd[0] == '-') cmd.erase(0, 1);  // --gate alias
+
+  // Split operands (files) from --flags so ArgParser sees flags only.
+  std::vector<std::string> operand_storage;
+  std::vector<const char*> flag_argv = {argv[0]};
+  for (int i = 2; i < argc; ++i) {
+    if (argv[i][0] == '-' && argv[i][1] == '-') {
+      flag_argv.push_back(argv[i]);
+    } else {
+      operand_storage.push_back(argv[i]);
+    }
+  }
+  common::ArgParser args(static_cast<int>(flag_argv.size()),
+                         flag_argv.data());
+
+  int rc = 2;
+  if (cmd == "gate") {
+    rc = run_gate(args);
+  } else if (cmd == "check") {
+    rc = run_check(args, operand_storage);
+  } else if (cmd == "fixtures") {
+    rc = run_fixtures(args);
+  } else if (cmd == "rules") {
+    rc = run_rules();
+  } else if (cmd == "help") {
+    usage(stdout);
+    return 0;
+  } else {
+    std::fprintf(stderr, "p8lint: unknown command '%s'\n", argv[1]);
+    usage(stderr);
+    return 2;
+  }
+  if (rc == 2 && !args.unknown_args().empty()) {
+    for (const std::string& unknown : args.unknown_args()) {
+      std::fprintf(stderr, "p8lint: unknown option --%s", unknown.c_str());
+      const std::string hint = args.suggest(unknown);
+      if (!hint.empty()) std::fprintf(stderr, " (did you mean --%s?)",
+                                      hint.c_str());
+      std::fputc('\n', stderr);
+    }
+  }
+  return rc;
+}

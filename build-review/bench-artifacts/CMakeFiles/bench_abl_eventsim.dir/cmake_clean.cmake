@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_eventsim"
+  "../bench/bench_abl_eventsim.pdb"
+  "CMakeFiles/bench_abl_eventsim.dir/bench_abl_eventsim.cpp.o"
+  "CMakeFiles/bench_abl_eventsim.dir/bench_abl_eventsim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_eventsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

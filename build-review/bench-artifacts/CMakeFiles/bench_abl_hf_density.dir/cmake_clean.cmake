@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_hf_density"
+  "../bench/bench_abl_hf_density.pdb"
+  "CMakeFiles/bench_abl_hf_density.dir/bench_abl_hf_density.cpp.o"
+  "CMakeFiles/bench_abl_hf_density.dir/bench_abl_hf_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_hf_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

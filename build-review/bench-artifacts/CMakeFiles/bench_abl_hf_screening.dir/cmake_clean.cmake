@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_hf_screening"
+  "../bench/bench_abl_hf_screening.pdb"
+  "CMakeFiles/bench_abl_hf_screening.dir/bench_abl_hf_screening.cpp.o"
+  "CMakeFiles/bench_abl_hf_screening.dir/bench_abl_hf_screening.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_hf_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

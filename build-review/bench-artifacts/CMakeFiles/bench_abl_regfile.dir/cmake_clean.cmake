@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_regfile"
+  "../bench/bench_abl_regfile.pdb"
+  "CMakeFiles/bench_abl_regfile.dir/bench_abl_regfile.cpp.o"
+  "CMakeFiles/bench_abl_regfile.dir/bench_abl_regfile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

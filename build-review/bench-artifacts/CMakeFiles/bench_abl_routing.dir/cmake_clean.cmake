@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_routing"
+  "../bench/bench_abl_routing.pdb"
+  "CMakeFiles/bench_abl_routing.dir/bench_abl_routing.cpp.o"
+  "CMakeFiles/bench_abl_routing.dir/bench_abl_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

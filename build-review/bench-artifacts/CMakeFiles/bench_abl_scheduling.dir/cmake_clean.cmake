@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_scheduling"
+  "../bench/bench_abl_scheduling.pdb"
+  "CMakeFiles/bench_abl_scheduling.dir/bench_abl_scheduling.cpp.o"
+  "CMakeFiles/bench_abl_scheduling.dir/bench_abl_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_abl_spmv_vector.cpp" "bench-artifacts/CMakeFiles/bench_abl_spmv_vector.dir/bench_abl_spmv_vector.cpp.o" "gcc" "bench-artifacts/CMakeFiles/bench_abl_spmv_vector.dir/bench_abl_spmv_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/p8_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/arch/CMakeFiles/p8_arch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/p8_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_spmv_vector"
+  "../bench/bench_abl_spmv_vector.pdb"
+  "CMakeFiles/bench_abl_spmv_vector.dir/bench_abl_spmv_vector.cpp.o"
+  "CMakeFiles/bench_abl_spmv_vector.dir/bench_abl_spmv_vector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_spmv_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

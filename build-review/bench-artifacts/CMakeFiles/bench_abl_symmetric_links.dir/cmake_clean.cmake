@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_symmetric_links"
+  "../bench/bench_abl_symmetric_links.pdb"
+  "CMakeFiles/bench_abl_symmetric_links.dir/bench_abl_symmetric_links.cpp.o"
+  "CMakeFiles/bench_abl_symmetric_links.dir/bench_abl_symmetric_links.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_symmetric_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_threadsets"
+  "../bench/bench_abl_threadsets.pdb"
+  "CMakeFiles/bench_abl_threadsets.dir/bench_abl_threadsets.cpp.o"
+  "CMakeFiles/bench_abl_threadsets.dir/bench_abl_threadsets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_threadsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_victim_l3"
+  "../bench/bench_abl_victim_l3.pdb"
+  "CMakeFiles/bench_abl_victim_l3.dir/bench_abl_victim_l3.cpp.o"
+  "CMakeFiles/bench_abl_victim_l3.dir/bench_abl_victim_l3.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_victim_l3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

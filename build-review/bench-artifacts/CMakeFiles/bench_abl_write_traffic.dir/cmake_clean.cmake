@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_write_traffic"
+  "../bench/bench_abl_write_traffic.pdb"
+  "CMakeFiles/bench_abl_write_traffic.dir/bench_abl_write_traffic.cpp.o"
+  "CMakeFiles/bench_abl_write_traffic.dir/bench_abl_write_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_write_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

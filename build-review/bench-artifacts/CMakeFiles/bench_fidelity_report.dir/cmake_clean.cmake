@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fidelity_report"
+  "../bench/bench_fidelity_report.pdb"
+  "CMakeFiles/bench_fidelity_report.dir/bench_fidelity_report.cpp.o"
+  "CMakeFiles/bench_fidelity_report.dir/bench_fidelity_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fidelity_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_spmv_csr"
+  "../bench/bench_fig11_spmv_csr.pdb"
+  "CMakeFiles/bench_fig11_spmv_csr.dir/bench_fig11_spmv_csr.cpp.o"
+  "CMakeFiles/bench_fig11_spmv_csr.dir/bench_fig11_spmv_csr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_spmv_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

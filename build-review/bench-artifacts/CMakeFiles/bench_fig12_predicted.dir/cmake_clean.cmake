@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_predicted"
+  "../bench/bench_fig12_predicted.pdb"
+  "CMakeFiles/bench_fig12_predicted.dir/bench_fig12_predicted.cpp.o"
+  "CMakeFiles/bench_fig12_predicted.dir/bench_fig12_predicted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_predicted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_spmv_rmat"
+  "../bench/bench_fig12_spmv_rmat.pdb"
+  "CMakeFiles/bench_fig12_spmv_rmat.dir/bench_fig12_spmv_rmat.cpp.o"
+  "CMakeFiles/bench_fig12_spmv_rmat.dir/bench_fig12_spmv_rmat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_spmv_rmat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

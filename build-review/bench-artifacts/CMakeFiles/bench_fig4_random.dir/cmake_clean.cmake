@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_random"
+  "../bench/bench_fig4_random.pdb"
+  "CMakeFiles/bench_fig4_random.dir/bench_fig4_random.cpp.o"
+  "CMakeFiles/bench_fig4_random.dir/bench_fig4_random.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

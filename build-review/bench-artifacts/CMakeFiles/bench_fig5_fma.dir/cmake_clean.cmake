@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_fma"
+  "../bench/bench_fig5_fma.pdb"
+  "CMakeFiles/bench_fig5_fma.dir/bench_fig5_fma.cpp.o"
+  "CMakeFiles/bench_fig5_fma.dir/bench_fig5_fma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

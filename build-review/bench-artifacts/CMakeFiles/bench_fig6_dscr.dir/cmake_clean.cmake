@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_dscr"
+  "../bench/bench_fig6_dscr.pdb"
+  "CMakeFiles/bench_fig6_dscr.dir/bench_fig6_dscr.cpp.o"
+  "CMakeFiles/bench_fig6_dscr.dir/bench_fig6_dscr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dscr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

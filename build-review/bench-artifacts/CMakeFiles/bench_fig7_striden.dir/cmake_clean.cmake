@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_striden"
+  "../bench/bench_fig7_striden.pdb"
+  "CMakeFiles/bench_fig7_striden.dir/bench_fig7_striden.cpp.o"
+  "CMakeFiles/bench_fig7_striden.dir/bench_fig7_striden.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_striden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_dcbt"
+  "../bench/bench_fig8_dcbt.pdb"
+  "CMakeFiles/bench_fig8_dcbt.dir/bench_fig8_dcbt.cpp.o"
+  "CMakeFiles/bench_fig8_dcbt.dir/bench_fig8_dcbt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dcbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_kernels"
+  "../bench/bench_fig9_kernels.pdb"
+  "CMakeFiles/bench_fig9_kernels.dir/bench_fig9_kernels.cpp.o"
+  "CMakeFiles/bench_fig9_kernels.dir/bench_fig9_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_roofline"
+  "../bench/bench_fig9_roofline.pdb"
+  "CMakeFiles/bench_fig9_roofline.dir/bench_fig9_roofline.cpp.o"
+  "CMakeFiles/bench_fig9_roofline.dir/bench_fig9_roofline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

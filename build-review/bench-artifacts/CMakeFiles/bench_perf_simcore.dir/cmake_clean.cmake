@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_simcore"
+  "../bench/bench_perf_simcore.pdb"
+  "CMakeFiles/bench_perf_simcore.dir/bench_perf_simcore.cpp.o"
+  "CMakeFiles/bench_perf_simcore.dir/bench_perf_simcore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

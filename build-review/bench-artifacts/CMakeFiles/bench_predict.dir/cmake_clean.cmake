@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_predict"
+  "../bench/bench_predict.pdb"
+  "CMakeFiles/bench_predict.dir/bench_predict.cpp.o"
+  "CMakeFiles/bench_predict.dir/bench_predict.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

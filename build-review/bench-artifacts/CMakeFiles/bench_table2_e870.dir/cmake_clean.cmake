@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_e870"
+  "../bench/bench_table2_e870.pdb"
+  "CMakeFiles/bench_table2_e870.dir/bench_table2_e870.cpp.o"
+  "CMakeFiles/bench_table2_e870.dir/bench_table2_e870.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_e870.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

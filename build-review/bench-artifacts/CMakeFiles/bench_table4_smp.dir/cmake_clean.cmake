@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_smp"
+  "../bench/bench_table4_smp.pdb"
+  "CMakeFiles/bench_table4_smp.dir/bench_table4_smp.cpp.o"
+  "CMakeFiles/bench_table4_smp.dir/bench_table4_smp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_molecules"
+  "../bench/bench_table5_molecules.pdb"
+  "CMakeFiles/bench_table5_molecules.dir/bench_table5_molecules.cpp.o"
+  "CMakeFiles/bench_table5_molecules.dir/bench_table5_molecules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_molecules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

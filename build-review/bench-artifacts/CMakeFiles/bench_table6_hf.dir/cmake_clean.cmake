@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_hf"
+  "../bench/bench_table6_hf.pdb"
+  "CMakeFiles/bench_table6_hf.dir/bench_table6_hf.cpp.o"
+  "CMakeFiles/bench_table6_hf.dir/bench_table6_hf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_hf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

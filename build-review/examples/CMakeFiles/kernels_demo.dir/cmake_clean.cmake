@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_demo.dir/kernels_demo.cpp.o"
+  "CMakeFiles/kernels_demo.dir/kernels_demo.cpp.o.d"
+  "kernels_demo"
+  "kernels_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_chemistry.dir/quantum_chemistry.cpp.o"
+  "CMakeFiles/quantum_chemistry.dir/quantum_chemistry.cpp.o.d"
+  "quantum_chemistry"
+  "quantum_chemistry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_chemistry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

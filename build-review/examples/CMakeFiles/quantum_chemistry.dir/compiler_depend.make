@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quantum_chemistry.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for quantum_chemistry.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking.dir/ranking.cpp.o"
+  "CMakeFiles/ranking.dir/ranking.cpp.o.d"
+  "ranking"
+  "ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("arch")
+subdirs("sim")
+subdirs("trace")
+subdirs("ubench")
+subdirs("roofline")
+subdirs("graph")
+subdirs("graphalg")
+subdirs("kernels")
+subdirs("la")
+subdirs("spmv")
+subdirs("jaccard")
+subdirs("hf")
+subdirs("predict")
+subdirs("lint")

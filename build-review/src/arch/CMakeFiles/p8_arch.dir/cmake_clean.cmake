@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_arch.dir/spec.cpp.o"
+  "CMakeFiles/p8_arch.dir/spec.cpp.o.d"
+  "CMakeFiles/p8_arch.dir/topology.cpp.o"
+  "CMakeFiles/p8_arch.dir/topology.cpp.o.d"
+  "libp8_arch.a"
+  "libp8_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "src/common/CMakeFiles/p8_common.dir/cli.cpp.o" "gcc" "src/common/CMakeFiles/p8_common.dir/cli.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/common/CMakeFiles/p8_common.dir/json.cpp.o" "gcc" "src/common/CMakeFiles/p8_common.dir/json.cpp.o.d"
+  "/root/repo/src/common/partition.cpp" "src/common/CMakeFiles/p8_common.dir/partition.cpp.o" "gcc" "src/common/CMakeFiles/p8_common.dir/partition.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/p8_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/p8_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/taskgraph.cpp" "src/common/CMakeFiles/p8_common.dir/taskgraph.cpp.o" "gcc" "src/common/CMakeFiles/p8_common.dir/taskgraph.cpp.o.d"
+  "/root/repo/src/common/threading.cpp" "src/common/CMakeFiles/p8_common.dir/threading.cpp.o" "gcc" "src/common/CMakeFiles/p8_common.dir/threading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

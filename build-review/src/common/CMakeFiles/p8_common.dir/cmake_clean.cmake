@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_common.dir/cli.cpp.o"
+  "CMakeFiles/p8_common.dir/cli.cpp.o.d"
+  "CMakeFiles/p8_common.dir/json.cpp.o"
+  "CMakeFiles/p8_common.dir/json.cpp.o.d"
+  "CMakeFiles/p8_common.dir/partition.cpp.o"
+  "CMakeFiles/p8_common.dir/partition.cpp.o.d"
+  "CMakeFiles/p8_common.dir/table.cpp.o"
+  "CMakeFiles/p8_common.dir/table.cpp.o.d"
+  "CMakeFiles/p8_common.dir/taskgraph.cpp.o"
+  "CMakeFiles/p8_common.dir/taskgraph.cpp.o.d"
+  "CMakeFiles/p8_common.dir/threading.cpp.o"
+  "CMakeFiles/p8_common.dir/threading.cpp.o.d"
+  "libp8_common.a"
+  "libp8_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/p8_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/p8_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/p8_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/p8_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/matrices.cpp" "src/graph/CMakeFiles/p8_graph.dir/matrices.cpp.o" "gcc" "src/graph/CMakeFiles/p8_graph.dir/matrices.cpp.o.d"
+  "/root/repo/src/graph/rmat.cpp" "src/graph/CMakeFiles/p8_graph.dir/rmat.cpp.o" "gcc" "src/graph/CMakeFiles/p8_graph.dir/rmat.cpp.o.d"
+  "/root/repo/src/graph/spgemm.cpp" "src/graph/CMakeFiles/p8_graph.dir/spgemm.cpp.o" "gcc" "src/graph/CMakeFiles/p8_graph.dir/spgemm.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/p8_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/p8_graph.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/p8_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_graph.dir/csr.cpp.o"
+  "CMakeFiles/p8_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/p8_graph.dir/io.cpp.o"
+  "CMakeFiles/p8_graph.dir/io.cpp.o.d"
+  "CMakeFiles/p8_graph.dir/matrices.cpp.o"
+  "CMakeFiles/p8_graph.dir/matrices.cpp.o.d"
+  "CMakeFiles/p8_graph.dir/rmat.cpp.o"
+  "CMakeFiles/p8_graph.dir/rmat.cpp.o.d"
+  "CMakeFiles/p8_graph.dir/spgemm.cpp.o"
+  "CMakeFiles/p8_graph.dir/spgemm.cpp.o.d"
+  "CMakeFiles/p8_graph.dir/stats.cpp.o"
+  "CMakeFiles/p8_graph.dir/stats.cpp.o.d"
+  "libp8_graph.a"
+  "libp8_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_graphalg.dir/ranking.cpp.o"
+  "CMakeFiles/p8_graphalg.dir/ranking.cpp.o.d"
+  "libp8_graphalg.a"
+  "libp8_graphalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_graphalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

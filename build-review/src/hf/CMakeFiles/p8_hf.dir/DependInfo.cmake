@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hf/basis.cpp" "src/hf/CMakeFiles/p8_hf.dir/basis.cpp.o" "gcc" "src/hf/CMakeFiles/p8_hf.dir/basis.cpp.o.d"
+  "/root/repo/src/hf/integrals.cpp" "src/hf/CMakeFiles/p8_hf.dir/integrals.cpp.o" "gcc" "src/hf/CMakeFiles/p8_hf.dir/integrals.cpp.o.d"
+  "/root/repo/src/hf/scf.cpp" "src/hf/CMakeFiles/p8_hf.dir/scf.cpp.o" "gcc" "src/hf/CMakeFiles/p8_hf.dir/scf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/la/CMakeFiles/p8_la.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/p8_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

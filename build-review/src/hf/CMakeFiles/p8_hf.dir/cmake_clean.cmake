@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_hf.dir/basis.cpp.o"
+  "CMakeFiles/p8_hf.dir/basis.cpp.o.d"
+  "CMakeFiles/p8_hf.dir/integrals.cpp.o"
+  "CMakeFiles/p8_hf.dir/integrals.cpp.o.d"
+  "CMakeFiles/p8_hf.dir/scf.cpp.o"
+  "CMakeFiles/p8_hf.dir/scf.cpp.o.d"
+  "libp8_hf.a"
+  "libp8_hf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_hf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_jaccard.dir/jaccard.cpp.o"
+  "CMakeFiles/p8_jaccard.dir/jaccard.cpp.o.d"
+  "CMakeFiles/p8_jaccard.dir/minhash.cpp.o"
+  "CMakeFiles/p8_jaccard.dir/minhash.cpp.o.d"
+  "libp8_jaccard.a"
+  "libp8_jaccard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

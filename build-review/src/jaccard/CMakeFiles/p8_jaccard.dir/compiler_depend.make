@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for p8_jaccard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/fft.cpp" "src/kernels/CMakeFiles/p8_kernels.dir/fft.cpp.o" "gcc" "src/kernels/CMakeFiles/p8_kernels.dir/fft.cpp.o.d"
+  "/root/repo/src/kernels/lbm.cpp" "src/kernels/CMakeFiles/p8_kernels.dir/lbm.cpp.o" "gcc" "src/kernels/CMakeFiles/p8_kernels.dir/lbm.cpp.o.d"
+  "/root/repo/src/kernels/stencil.cpp" "src/kernels/CMakeFiles/p8_kernels.dir/stencil.cpp.o" "gcc" "src/kernels/CMakeFiles/p8_kernels.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/p8_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

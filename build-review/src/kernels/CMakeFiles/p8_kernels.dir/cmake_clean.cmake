@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_kernels.dir/fft.cpp.o"
+  "CMakeFiles/p8_kernels.dir/fft.cpp.o.d"
+  "CMakeFiles/p8_kernels.dir/lbm.cpp.o"
+  "CMakeFiles/p8_kernels.dir/lbm.cpp.o.d"
+  "CMakeFiles/p8_kernels.dir/stencil.cpp.o"
+  "CMakeFiles/p8_kernels.dir/stencil.cpp.o.d"
+  "libp8_kernels.a"
+  "libp8_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/eigen.cpp" "src/la/CMakeFiles/p8_la.dir/eigen.cpp.o" "gcc" "src/la/CMakeFiles/p8_la.dir/eigen.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/la/CMakeFiles/p8_la.dir/matrix.cpp.o" "gcc" "src/la/CMakeFiles/p8_la.dir/matrix.cpp.o.d"
+  "/root/repo/src/la/purification.cpp" "src/la/CMakeFiles/p8_la.dir/purification.cpp.o" "gcc" "src/la/CMakeFiles/p8_la.dir/purification.cpp.o.d"
+  "/root/repo/src/la/solve.cpp" "src/la/CMakeFiles/p8_la.dir/solve.cpp.o" "gcc" "src/la/CMakeFiles/p8_la.dir/solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/p8_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_la.dir/eigen.cpp.o"
+  "CMakeFiles/p8_la.dir/eigen.cpp.o.d"
+  "CMakeFiles/p8_la.dir/matrix.cpp.o"
+  "CMakeFiles/p8_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/p8_la.dir/purification.cpp.o"
+  "CMakeFiles/p8_la.dir/purification.cpp.o.d"
+  "CMakeFiles/p8_la.dir/solve.cpp.o"
+  "CMakeFiles/p8_la.dir/solve.cpp.o.d"
+  "libp8_la.a"
+  "libp8_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lint/allowlist.cpp" "src/lint/CMakeFiles/p8_lint.dir/allowlist.cpp.o" "gcc" "src/lint/CMakeFiles/p8_lint.dir/allowlist.cpp.o.d"
+  "/root/repo/src/lint/engine.cpp" "src/lint/CMakeFiles/p8_lint.dir/engine.cpp.o" "gcc" "src/lint/CMakeFiles/p8_lint.dir/engine.cpp.o.d"
+  "/root/repo/src/lint/lexer.cpp" "src/lint/CMakeFiles/p8_lint.dir/lexer.cpp.o" "gcc" "src/lint/CMakeFiles/p8_lint.dir/lexer.cpp.o.d"
+  "/root/repo/src/lint/rules.cpp" "src/lint/CMakeFiles/p8_lint.dir/rules.cpp.o" "gcc" "src/lint/CMakeFiles/p8_lint.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/p8_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

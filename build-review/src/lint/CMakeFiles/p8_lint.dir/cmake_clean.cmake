@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_lint.dir/allowlist.cpp.o"
+  "CMakeFiles/p8_lint.dir/allowlist.cpp.o.d"
+  "CMakeFiles/p8_lint.dir/engine.cpp.o"
+  "CMakeFiles/p8_lint.dir/engine.cpp.o.d"
+  "CMakeFiles/p8_lint.dir/lexer.cpp.o"
+  "CMakeFiles/p8_lint.dir/lexer.cpp.o.d"
+  "CMakeFiles/p8_lint.dir/rules.cpp.o"
+  "CMakeFiles/p8_lint.dir/rules.cpp.o.d"
+  "libp8_lint.a"
+  "libp8_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

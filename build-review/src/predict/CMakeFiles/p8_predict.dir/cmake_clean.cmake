@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_predict.dir/machine_predict.cpp.o"
+  "CMakeFiles/p8_predict.dir/machine_predict.cpp.o.d"
+  "CMakeFiles/p8_predict.dir/spmv_predict.cpp.o"
+  "CMakeFiles/p8_predict.dir/spmv_predict.cpp.o.d"
+  "libp8_predict.a"
+  "libp8_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_roofline.dir/energy.cpp.o"
+  "CMakeFiles/p8_roofline.dir/energy.cpp.o.d"
+  "CMakeFiles/p8_roofline.dir/roofline.cpp.o"
+  "CMakeFiles/p8_roofline.dir/roofline.cpp.o.d"
+  "libp8_roofline.a"
+  "libp8_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

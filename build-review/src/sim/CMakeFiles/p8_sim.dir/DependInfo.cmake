@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/audit.cpp" "src/sim/CMakeFiles/p8_sim.dir/audit.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/audit.cpp.o.d"
+  "/root/repo/src/sim/cache/cache.cpp" "src/sim/CMakeFiles/p8_sim.dir/cache/cache.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/sim/cache/hierarchy.cpp" "src/sim/CMakeFiles/p8_sim.dir/cache/hierarchy.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/cache/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/cache/tlb.cpp" "src/sim/CMakeFiles/p8_sim.dir/cache/tlb.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/cache/tlb.cpp.o.d"
+  "/root/repo/src/sim/core/coresim.cpp" "src/sim/CMakeFiles/p8_sim.dir/core/coresim.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/core/coresim.cpp.o.d"
+  "/root/repo/src/sim/counters.cpp" "src/sim/CMakeFiles/p8_sim.dir/counters.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/counters.cpp.o.d"
+  "/root/repo/src/sim/machine/latency_probe.cpp" "src/sim/CMakeFiles/p8_sim.dir/machine/latency_probe.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/machine/latency_probe.cpp.o.d"
+  "/root/repo/src/sim/machine/machine.cpp" "src/sim/CMakeFiles/p8_sim.dir/machine/machine.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/sim/machine/spec.cpp" "src/sim/CMakeFiles/p8_sim.dir/machine/spec.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/machine/spec.cpp.o.d"
+  "/root/repo/src/sim/machine/sweep.cpp" "src/sim/CMakeFiles/p8_sim.dir/machine/sweep.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/machine/sweep.cpp.o.d"
+  "/root/repo/src/sim/machine/traffic_sim.cpp" "src/sim/CMakeFiles/p8_sim.dir/machine/traffic_sim.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/machine/traffic_sim.cpp.o.d"
+  "/root/repo/src/sim/mem/bandwidth.cpp" "src/sim/CMakeFiles/p8_sim.dir/mem/bandwidth.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/mem/bandwidth.cpp.o.d"
+  "/root/repo/src/sim/noc/noc.cpp" "src/sim/CMakeFiles/p8_sim.dir/noc/noc.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/noc/noc.cpp.o.d"
+  "/root/repo/src/sim/prefetch/engine.cpp" "src/sim/CMakeFiles/p8_sim.dir/prefetch/engine.cpp.o" "gcc" "src/sim/CMakeFiles/p8_sim.dir/prefetch/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/arch/CMakeFiles/p8_arch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/p8_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_sim.dir/audit.cpp.o"
+  "CMakeFiles/p8_sim.dir/audit.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/cache/cache.cpp.o"
+  "CMakeFiles/p8_sim.dir/cache/cache.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/cache/hierarchy.cpp.o"
+  "CMakeFiles/p8_sim.dir/cache/hierarchy.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/cache/tlb.cpp.o"
+  "CMakeFiles/p8_sim.dir/cache/tlb.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/core/coresim.cpp.o"
+  "CMakeFiles/p8_sim.dir/core/coresim.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/counters.cpp.o"
+  "CMakeFiles/p8_sim.dir/counters.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/machine/latency_probe.cpp.o"
+  "CMakeFiles/p8_sim.dir/machine/latency_probe.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/machine/machine.cpp.o"
+  "CMakeFiles/p8_sim.dir/machine/machine.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/machine/spec.cpp.o"
+  "CMakeFiles/p8_sim.dir/machine/spec.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/machine/sweep.cpp.o"
+  "CMakeFiles/p8_sim.dir/machine/sweep.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/machine/traffic_sim.cpp.o"
+  "CMakeFiles/p8_sim.dir/machine/traffic_sim.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/mem/bandwidth.cpp.o"
+  "CMakeFiles/p8_sim.dir/mem/bandwidth.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/noc/noc.cpp.o"
+  "CMakeFiles/p8_sim.dir/noc/noc.cpp.o.d"
+  "CMakeFiles/p8_sim.dir/prefetch/engine.cpp.o"
+  "CMakeFiles/p8_sim.dir/prefetch/engine.cpp.o.d"
+  "libp8_sim.a"
+  "libp8_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_spmv.dir/csr_spmv.cpp.o"
+  "CMakeFiles/p8_spmv.dir/csr_spmv.cpp.o.d"
+  "CMakeFiles/p8_spmv.dir/graph_spmv.cpp.o"
+  "CMakeFiles/p8_spmv.dir/graph_spmv.cpp.o.d"
+  "libp8_spmv.a"
+  "libp8_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

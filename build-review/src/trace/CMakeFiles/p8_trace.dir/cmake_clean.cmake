@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_trace.dir/reader.cpp.o"
+  "CMakeFiles/p8_trace.dir/reader.cpp.o.d"
+  "CMakeFiles/p8_trace.dir/replay.cpp.o"
+  "CMakeFiles/p8_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/p8_trace.dir/writer.cpp.o"
+  "CMakeFiles/p8_trace.dir/writer.cpp.o.d"
+  "libp8_trace.a"
+  "libp8_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

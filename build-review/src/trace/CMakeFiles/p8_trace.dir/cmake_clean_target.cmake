@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp8_trace.a"
+)

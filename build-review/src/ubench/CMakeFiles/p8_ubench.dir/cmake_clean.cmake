@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8_ubench.dir/workloads.cpp.o"
+  "CMakeFiles/p8_ubench.dir/workloads.cpp.o.d"
+  "libp8_ubench.a"
+  "libp8_ubench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphalg_test.dir/graphalg_test.cpp.o"
+  "CMakeFiles/graphalg_test.dir/graphalg_test.cpp.o.d"
+  "graphalg_test"
+  "graphalg_test.pdb"
+  "graphalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_test.dir/hf_test.cpp.o"
+  "CMakeFiles/hf_test.dir/hf_test.cpp.o.d"
+  "hf_test"
+  "hf_test.pdb"
+  "hf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

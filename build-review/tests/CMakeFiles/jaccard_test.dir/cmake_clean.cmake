@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaccard_test.dir/jaccard_test.cpp.o"
+  "CMakeFiles/jaccard_test.dir/jaccard_test.cpp.o.d"
+  "jaccard_test"
+  "jaccard_test.pdb"
+  "jaccard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaccard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_predict_test.dir/machine_predict_test.cpp.o"
+  "CMakeFiles/machine_predict_test.dir/machine_predict_test.cpp.o.d"
+  "machine_predict_test"
+  "machine_predict_test.pdb"
+  "machine_predict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_predict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roofline_test.dir/roofline_test.cpp.o"
+  "CMakeFiles/roofline_test.dir/roofline_test.cpp.o.d"
+  "roofline_test"
+  "roofline_test.pdb"
+  "roofline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roofline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_audit_test.dir/sim_audit_test.cpp.o"
+  "CMakeFiles/sim_audit_test.dir/sim_audit_test.cpp.o.d"
+  "sim_audit_test"
+  "sim_audit_test.pdb"
+  "sim_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_mem_test.dir/sim_mem_test.cpp.o"
+  "CMakeFiles/sim_mem_test.dir/sim_mem_test.cpp.o.d"
+  "sim_mem_test"
+  "sim_mem_test.pdb"
+  "sim_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_noc_test.dir/sim_noc_test.cpp.o"
+  "CMakeFiles/sim_noc_test.dir/sim_noc_test.cpp.o.d"
+  "sim_noc_test"
+  "sim_noc_test.pdb"
+  "sim_noc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_noc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

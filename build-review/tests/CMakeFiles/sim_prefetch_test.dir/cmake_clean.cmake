@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_prefetch_test.dir/sim_prefetch_test.cpp.o"
+  "CMakeFiles/sim_prefetch_test.dir/sim_prefetch_test.cpp.o.d"
+  "sim_prefetch_test"
+  "sim_prefetch_test.pdb"
+  "sim_prefetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_probe_test.dir/sim_probe_test.cpp.o"
+  "CMakeFiles/sim_probe_test.dir/sim_probe_test.cpp.o.d"
+  "sim_probe_test"
+  "sim_probe_test.pdb"
+  "sim_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_traffic_test.dir/sim_traffic_test.cpp.o"
+  "CMakeFiles/sim_traffic_test.dir/sim_traffic_test.cpp.o.d"
+  "sim_traffic_test"
+  "sim_traffic_test.pdb"
+  "sim_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

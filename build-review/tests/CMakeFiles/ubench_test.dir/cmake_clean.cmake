@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_test.dir/ubench_test.cpp.o"
+  "CMakeFiles/ubench_test.dir/ubench_test.cpp.o.d"
+  "ubench_test"
+  "ubench_test.pdb"
+  "ubench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8lint.dir/p8lint.cpp.o"
+  "CMakeFiles/p8lint.dir/p8lint.cpp.o.d"
+  "p8lint"
+  "p8lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p8trace.dir/p8trace.cpp.o"
+  "CMakeFiles/p8trace.dir/p8trace.cpp.o.d"
+  "p8trace"
+  "p8trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p8trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -148,19 +148,78 @@ diff -u BENCH_fidelity.json build/BENCH_fidelity.json
   --json build/BENCH_predict.json
 diff -u BENCH_predict.json build/BENCH_predict.json
 
+# Serving gate: a real p8serve daemon driven over its socket must
+# answer byte-identically to the direct two-tier stack on all five
+# presets, clear the >=90% hit-rate floor on the duplicate-heavy
+# profile with cache_hits exactly the stream's duplicate count, and
+# evict exactly as the LRU contract predicts on the churn profile.
+# The report carries no wall-clock, so a fresh --json run must match
+# the checked-in BENCH_serve.json bit for bit.
+./build/bench/bench_serve --machines=all --gate \
+  --json build/BENCH_serve.json
+diff -u BENCH_serve.json build/BENCH_serve.json
+
+# Daemon smoke cycle: start a live daemon, hit it with a mixed client
+# burst through the CLI, assert the stats add up, shut it down
+# cleanly, and verify the socket file is gone.
+serve_sock="build/tier1-p8serve.sock"
+rm -f "$serve_sock"
+./build/tools/p8serve serve --socket="$serve_sock" --sim-threads=2 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  ./build/tools/p8serve ping --socket="$serve_sock" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+./build/tools/p8serve query --socket="$serve_sock" --machine=e870 \
+  --kind=chase-latency --footprint=$((96 * 1024)) --dscr=2
+printf '%s\n' \
+  '{"verb": "query", "machine": "e870", "query": {"kind": "chase-latency", "footprint_bytes": 98304, "dscr": 2}}' \
+  '{"verb": "query", "machine": "e870", "query": {"kind": "noc-latency", "home_chip": 1}}' \
+  '{"verb": "query", "machine": "e870", "queries": [{"kind": "chase-latency", "footprint_bytes": 98304, "dscr": 2}, {"kind": "chase-latency", "footprint_bytes": 131072, "dscr": 2}]}' \
+  '{"not json' \
+  | ./build/tools/p8serve request --socket="$serve_sock" || true
+./build/tools/p8serve stats --socket="$serve_sock" \
+  > build/tier1_serve_stats.json
+python3 - build/tier1_serve_stats.json <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))["stats"]
+# CLI query + 3 stream queries + 1 garbage line + this stats call's
+# predecessors: the exact invariant matters more than the totals.
+assert stats["serve.queries"] == stats["serve.analytic"] \
+    + stats["serve.sim"] + stats["serve.cache_hits"], stats
+assert stats["serve.queries"] == 5, stats
+assert stats["serve.cache_hits"] == 2, stats   # 96K dscr=2 repeated twice
+assert stats["serve.errors"] == 1, stats       # the garbage line
+print("serve smoke: counters OK (%d queries, %d hits)"
+      % (stats["serve.queries"], stats["serve.cache_hits"]))
+EOF
+./build/tools/p8serve shutdown --socket="$serve_sock"
+wait "$serve_pid"
+trap - EXIT
+if [ -e "$serve_sock" ]; then
+  echo "FAIL: p8serve leaked its socket file: $serve_sock"
+  exit 1
+fi
+echo "serve smoke: clean shutdown, no leaked socket"
+
 # Memory-safety pass: AddressSanitizer build of the counter layer, the
 # parallel sweep engine (the two places this repo shares registry
 # slots and fans work across threads), the trace codec — the
 # corrupted-file rejection matrix must hold with ASan watching the
-# varint decoder and the mmap path — and the predictor suite (the
-# router fans fallbacks across the sweep engine).
+# varint decoder and the mmap path — the predictor suite (the
+# router fans fallbacks across the sweep engine) — and the serving
+# suite (socket framing, the single-flight cache, per-connection
+# threads: the daemon's buffer handling with ASan watching the
+# hostile-frame matrix).
 cmake -B build-asan -S . -DP8_SANITIZE=address
 cmake --build build-asan -j --target sim_counters_test sweep_test trace_test \
-  machine_predict_test
+  machine_predict_test serve_test
 ./build-asan/tests/sim_counters_test
 ./build-asan/tests/sweep_test
 ./build-asan/tests/trace_test
 ./build-asan/tests/machine_predict_test
+./build-asan/tests/serve_test
 
 # Contract pass: a contracts-forced Debug build runs the parallel
 # sweep, audit and contract-macro tests with every P8_ENSURE /
@@ -170,9 +229,10 @@ cmake --build build-asan -j --target sim_counters_test sweep_test trace_test \
 # only means something with the contracts armed.
 cmake -B build-contracts -S . -DCMAKE_BUILD_TYPE=Debug -DP8_CONTRACTS=ON
 cmake --build build-contracts -j --target sweep_test contracts_test \
-  sim_audit_test sim_property_test machine_predict_test
+  sim_audit_test sim_property_test machine_predict_test serve_test
 ./build-contracts/tests/sweep_test
 ./build-contracts/tests/contracts_test
 ./build-contracts/tests/sim_audit_test
 ./build-contracts/tests/sim_property_test
 ./build-contracts/tests/machine_predict_test
+./build-contracts/tests/serve_test

@@ -297,6 +297,40 @@ const std::string& Json::as_string(const std::string& what) const {
   return string;
 }
 
+std::string json_dump(const Json& v) {
+  switch (v.kind) {
+    case Json::Kind::kNull:
+      return "null";
+    case Json::Kind::kBool:
+      return v.boolean ? "true" : "false";
+    case Json::Kind::kNumber:
+      return json_number(v.number);
+    case Json::Kind::kString:
+      return json_quote(v.string);
+    case Json::Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i != 0) out += ',';
+        out += json_dump(v.array[i]);
+      }
+      out += ']';
+      return out;
+    }
+    case Json::Kind::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        if (i != 0) out += ',';
+        out += json_quote(v.object[i].first);
+        out += ':';
+        out += json_dump(v.object[i].second);
+      }
+      out += '}';
+      return out;
+    }
+  }
+  return "null";
+}
+
 std::string json_quote(const std::string& s) {
   std::string out = "\"";
   for (const char c : s) {

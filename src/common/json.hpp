@@ -56,6 +56,13 @@ struct Json {
 /// escaped.
 std::string json_quote(const std::string& s);
 
+/// `v` rendered back to compact JSON text (no whitespace), preserving
+/// object member order and using the deterministic number/string
+/// formatters below — so dump(parse(dump(x))) == dump(x) and equal
+/// DOMs always render to equal bytes.  The serve layer canonicalizes
+/// inline request fragments with this before hashing them.
+std::string json_dump(const Json& v);
+
 /// Shortest decimal form of `v` that parses back to exactly `v`
 /// (std::to_chars), so writers are deterministic and round-trip exact.
 std::string json_number(double v);

@@ -406,6 +406,7 @@ const Rule* find_rule(const std::string& id) {
 bool path_in_model_scope(const std::string& path) {
   return starts_with(path, "src/sim/") || starts_with(path, "src/trace/") ||
          starts_with(path, "src/predict/") ||
+         starts_with(path, "src/serve/") ||
          starts_with(path, "src/ubench/") || starts_with(path, "bench/");
 }
 
@@ -416,7 +417,8 @@ bool is_bench_source(const std::string& path) {
 bool is_hot_path_header(const std::string& path) {
   if (!ends_with(path, ".hpp")) return false;
   return starts_with(path, "src/sim/") || starts_with(path, "src/trace/") ||
-         starts_with(path, "src/predict/") || starts_with(path, "src/ubench/");
+         starts_with(path, "src/predict/") ||
+         starts_with(path, "src/serve/") || starts_with(path, "src/ubench/");
 }
 
 bool counter_literal_ok(const std::string& literal) {

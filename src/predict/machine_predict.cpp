@@ -198,6 +198,16 @@ QueryRouter::QueryRouter(const sim::MachineSpec& spec, std::size_t threads)
   runner_.gate_on_audit(machine_.audit());
 }
 
+QueryRouter::QueryRouter(const sim::MachineSpec& spec,
+                         common::ThreadPool& pool)
+    : spec_(spec),
+      predictor_(spec),
+      machine_(spec.system, spec.mem, spec.noc),
+      runner_(pool) {
+  runner_.set_task_label("predict-fallback");
+  runner_.gate_on_audit(machine_.audit());
+}
+
 bool QueryRouter::analytic_servable(const Query& query) const {
   switch (query.kind) {
     case Query::Kind::kStreamBandwidth:

@@ -193,6 +193,12 @@ class QueryRouter {
   explicit QueryRouter(const sim::MachineSpec& spec,
                        std::size_t threads = 0);
 
+  /// Borrows `pool` (not owned; must outlive the router) for the
+  /// fallback SweepRunner — the serving layer keeps one pool and many
+  /// routers, so simulation-required batches from every machine share
+  /// the same workers instead of each router spawning its own.
+  QueryRouter(const sim::MachineSpec& spec, common::ThreadPool& pool);
+
   const Predictor& predictor() const { return predictor_; }
   const sim::Machine& machine() const { return machine_; }
 

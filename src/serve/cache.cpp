@@ -1,0 +1,132 @@
+#include "serve/cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace p8::serve {
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string cache_key(const std::string& machine_json,
+                      const std::string& query_json) {
+  return machine_json + '\n' + query_json;
+}
+
+std::uint64_t cache_key_hash(const std::string& machine_json,
+                             const std::string& query_json) {
+  return fnv1a64(cache_key(machine_json, query_json));
+}
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  P8_REQUIRE(capacity >= 1, "cache capacity must be >= 1");
+}
+
+ResultCache::Outcome ResultCache::get_or_compute(
+    const std::string& machine_json, const std::string& query_json,
+    const std::function<double()>& compute) {
+  const std::string key = cache_key(machine_json, query_json);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = index_.find(key);
+    if (it == index_.end()) break;
+    LruList::iterator entry = it->second;
+    if (entry->ready) {
+      // Completed entry: touch it to the MRU position and return.
+      lru_.splice(lru_.begin(), lru_, entry);
+      ++stats_.hits;
+      return Outcome{entry->value, true};
+    }
+    // In flight: wait for the computing thread.  It either completes
+    // the entry (we hit) or removes it on failure (we rethrow — the
+    // wait *observed* the failure, it did not consume a cached value,
+    // so it counts as neither hit nor miss; a later retry recomputes).
+    ready_cv_.wait(lock, [&] {
+      auto now = index_.find(key);
+      return now == index_.end() || now->second->ready;
+    });
+    auto now = index_.find(key);
+    if (now == index_.end())
+      throw std::runtime_error("serve cache: concurrent computation failed");
+    lru_.splice(lru_.begin(), lru_, now->second);
+    ++stats_.hits;
+    return Outcome{now->second->value, true};
+  }
+
+  // Miss: install the in-flight placeholder and compute unlocked.
+  ++stats_.misses;
+  lru_.push_front(Entry{key, 0.0, false});
+  index_.emplace(key, lru_.begin());
+  lock.unlock();
+
+  double value = 0.0;
+  try {
+    value = compute();
+  } catch (...) {
+    lock.lock();
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    ready_cv_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  auto it = index_.find(key);
+  // The entry cannot have been evicted (in-flight entries are skipped)
+  // so it is still ours to complete.
+  it->second->value = value + debug_value_skew_;
+  it->second->ready = true;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  evict_excess_locked();
+  ready_cv_.notify_all();
+  return Outcome{value, false};
+}
+
+void ResultCache::evict_excess_locked() {
+  std::size_t resident = lru_.size();
+  auto it = lru_.end();
+  while (resident > capacity_ && it != lru_.begin()) {
+    --it;
+    if (!it->ready) continue;  // never evict an in-flight entry
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    --resident;
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::vector<std::string> ResultCache::keys_mru_order() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(lru_.size());
+  for (const Entry& e : lru_) keys.push_back(e.key);
+  return keys;
+}
+
+void ResultCache::set_debug_value_skew(double skew) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  debug_value_skew_ = skew;
+}
+
+}  // namespace p8::serve

@@ -1,0 +1,149 @@
+#include "serve/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/timer.hpp"
+
+namespace p8::serve {
+
+namespace {
+
+int connect_fd(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("serve client: bad socket path \"" + path +
+                             "\"");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("serve client: socket: ") +
+                             std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int e = errno;
+    ::close(fd);
+    throw std::runtime_error("serve client: connect " + path + ": " +
+                             std::strerror(e));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path)
+    : fd_(connect_fd(socket_path)), path_(socket_path) {}
+
+Client::~Client() { close_fd(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)),
+      path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Client::request(const std::string& line,
+                            double timeout_seconds) {
+  if (fd_ < 0) throw std::runtime_error("serve client: connection closed");
+  std::string frame = line;
+  if (frame.empty() || frame.back() != '\n') frame += '\n';
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int e = errno;
+      close_fd();
+      throw std::runtime_error(std::string("serve client: send: ") +
+                               std::strerror(e));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  const common::Timer timer;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return response;
+    }
+    const double left = timeout_seconds - timer.seconds();
+    if (left <= 0.0)
+      throw std::runtime_error("serve client: timed out waiting for a "
+                               "response");
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(left * 1e3) + 1);
+    if (ready < 0 && errno != EINTR)
+      throw std::runtime_error(std::string("serve client: poll: ") +
+                               std::strerror(errno));
+    if (ready <= 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int e = errno;
+      close_fd();
+      throw std::runtime_error(std::string("serve client: recv: ") +
+                               std::strerror(e));
+    }
+    if (n == 0) {
+      close_fd();
+      throw std::runtime_error(
+          "serve client: the daemon closed the connection");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string request_once(const std::string& socket_path,
+                         const std::string& line) {
+  Client client(socket_path);
+  return client.request(line);
+}
+
+bool wait_for_server(const std::string& socket_path,
+                     double timeout_seconds) {
+  const common::Timer timer;
+  for (;;) {
+    try {
+      Client probe(socket_path);
+      return true;
+    } catch (const std::exception&) {
+      if (timer.seconds() >= timeout_seconds) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+}  // namespace p8::serve

@@ -1,0 +1,48 @@
+// Blocking line-protocol client for the p8serve daemon — the side the
+// tools, tests and the bench_serve load generator all speak through.
+#pragma once
+
+#include <string>
+
+namespace p8::serve {
+
+/// One connection to a daemon.  Not thread-safe; give each client
+/// thread its own Client.
+class Client {
+ public:
+  /// Connects to the daemon at `socket_path`; throws
+  /// std::runtime_error when nothing is listening there.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Sends one request line (a trailing LF is appended when missing)
+  /// and returns the response line without its trailing LF.  Throws
+  /// std::runtime_error on a broken connection or when no response
+  /// arrives within `timeout_seconds`.
+  std::string request(const std::string& line, double timeout_seconds = 60.0);
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  void close_fd();
+
+  int fd_ = -1;
+  std::string buffer_;
+  std::string path_;
+};
+
+/// Connect, send one request, return the response line.
+std::string request_once(const std::string& socket_path,
+                         const std::string& line);
+
+/// Polls until the daemon at `socket_path` accepts a connection;
+/// false when `timeout_seconds` elapses first.
+bool wait_for_server(const std::string& socket_path,
+                     double timeout_seconds);
+
+}  // namespace p8::serve

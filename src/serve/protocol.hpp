@@ -1,0 +1,127 @@
+// The p8serve wire protocol: line-delimited JSON requests and
+// responses over a local Unix-domain socket (docs/SERVE.md).
+//
+// One request is one JSON object on one LF-terminated line:
+//
+//   {"verb": "query", "id": 7, "machine": "e870",
+//    "query": {"kind": "chase-latency", "footprint_bytes": 1048576}}
+//   {"verb": "query", "id": 8, "machine": {...inline MachineSpec...},
+//    "queries": [{...}, {...}]}
+//   {"verb": "stats", "id": 9}
+//   {"verb": "ping"}
+//   {"verb": "shutdown"}
+//
+// The grammar is strict the way MachineSpec JSON is strict: unknown
+// members, type mismatches and out-of-range values throw
+// std::invalid_argument naming the offending path, and a line that is
+// not JSON at all reports the parser's "json: line L, column C: ..."
+// diagnostic verbatim.  Missing query members keep the predict::Query
+// defaults, mirroring the spec loader.
+//
+// Responses are one JSON object per line.  Success carries the echoed
+// id (when the request gave one) and the verb's payload; failure is
+// always {"id"?: N, "ok": false, "error": "..."} — the error schema
+// the black-box harness (tests/serve_test.cpp) checks on every hostile
+// input.
+//
+// This module is pure string/DOM work — no sockets, no machine state —
+// so the parser can be unit-tested without a daemon.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "predict/machine_predict.hpp"
+#include "sim/machine/spec.hpp"
+
+namespace p8::serve {
+
+/// One parsed request line.
+struct Request {
+  enum class Verb { kQuery, kStats, kPing, kShutdown };
+
+  Verb verb = Verb::kPing;
+  /// The optional client-chosen correlation id, echoed in responses.
+  std::optional<std::uint64_t> id;
+
+  /// Machine selector: a registry preset name ("e870"), empty when the
+  /// machine was given inline.  Query verbs must name a machine one of
+  /// the two ways; admin verbs carry neither.
+  std::string machine_name;
+  /// Canonical compact dump of an inline {"machine": {...}} spec
+  /// object; empty when a preset name was given.
+  std::string machine_inline_json;
+
+  /// The queries ("query" member parses to exactly one; "queries" to
+  /// one per array element, in array order).
+  std::vector<predict::Query> queries;
+  /// True when the request used the "queries" array form (the response
+  /// mirrors the shape: scalar fields vs arrays).
+  bool batch = false;
+};
+
+/// Parses one request line.  Throws std::invalid_argument with a
+/// diagnostic suitable for an error response: JSON syntax errors carry
+/// line/column, schema errors carry the offending member path.
+Request parse_request(const std::string& line);
+
+/// The "id" member of `line`, if the line parses as JSON at all and
+/// carries a well-formed one — so even a schema-rejected request gets
+/// its error response correlated.  Never throws.
+std::optional<std::uint64_t> request_id_best_effort(
+    const std::string& line);
+
+/// Canonical compact JSON of a query: every member, fixed order,
+/// json_number formatting — equal queries always render to equal
+/// bytes.  This is the query half of the content-addressed cache key
+/// (docs/SERVE.md).
+std::string query_canonical_json(const predict::Query& query);
+
+/// Validates `query` against the machine it will run on; returns a
+/// diagnostic, or "" when the query is well-formed.  The predictor's
+/// own P8_REQUIRE contracts compile out in Release, so the serving
+/// boundary must reject out-of-range chips/cores/threads before they
+/// reach an unchecked table lookup.
+std::string validate_query(const predict::Query& query,
+                           const sim::MachineSpec& spec);
+
+/// The spelled-out Query::Kind name ("chase-latency", ...).
+std::string query_kind_name(predict::Query::Kind kind);
+
+// ---- response rendering ---------------------------------------------------
+
+/// {"id"?: N, "ok": false, "error": "<message>"}
+std::string error_response(const std::optional<std::uint64_t>& id,
+                           const std::string& message);
+
+/// One answered query as rendered into a response.
+struct AnswerWire {
+  double value = 0.0;
+  bool analytic = false;
+  bool cached = false;
+};
+
+/// Success response for a query verb: scalar "value"/"analytic"/
+/// "cached" members for the single form, parallel arrays for the
+/// batch form.  Values render through common::json_number, so equal
+/// doubles always serialize to equal bytes — the bit-identity contract
+/// the serving gates check end to end.
+std::string query_response(const std::optional<std::uint64_t>& id,
+                           const std::vector<AnswerWire>& answers,
+                           bool batch);
+
+/// {"id"?: N, "ok": true, "pong": true}
+std::string ping_response(const std::optional<std::uint64_t>& id);
+
+/// {"id"?: N, "ok": true, "stopping": true}
+std::string shutdown_response(const std::optional<std::uint64_t>& id);
+
+/// {"id"?: N, "ok": true, "stats": {"serve.requests": 1, ...}} —
+/// `counters` must already be name-sorted (CounterRegistry::snapshot).
+std::string stats_response(
+    const std::optional<std::uint64_t>& id,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters);
+
+}  // namespace p8::serve

@@ -1,0 +1,11 @@
+// p8lint-fixture: path=src/serve/fixture_server.cpp expect=det-wall-clock
+// Deliberately bad: the daemon layer is model scope too — timestamping
+// a response with system_clock would leak wall time into output that
+// must be byte-identical across runs.
+#include <chrono>
+
+long long stamp_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,17 @@
+// p8lint-fixture: path=src/serve/fixture_clean.cpp expect=none
+// Clean twin: the serve-layer idiom — latency measured through
+// common::Timer (steady clock, perf reporting only), counters
+// registered under the documented serve. namespace, and the banned
+// spellings confined to comments/strings where the scanner must not
+// look.  Zero findings expected.
+struct Reg;
+unsigned long* make_counter(Reg& r, const char* prefix, const char* name);
+
+// system_clock and time(nullptr) in a comment are not findings.
+static const char* kMsg = "daemon never calls gettimeofday";
+
+unsigned long* register_hits(Reg& r) {
+  return make_counter(r, "serve.", "cache_hits");
+}
+
+const char* banner() { return kMsg; }

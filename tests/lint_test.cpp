@@ -395,6 +395,25 @@ TEST(LintRules, DetRandFiresOnlyInModelScope) {
   EXPECT_TRUE(lint_source("src/la/x.cpp", src, nullptr).empty());
 }
 
+TEST(LintRules, ServeLayerIsModelScope) {
+  // The p8serve daemon must answer byte-identically across runs and
+  // client counts, so src/serve gets the full determinism treatment:
+  // rand and wall-clock rules fire there, and its headers count as
+  // hot-path headers for the contract-throw rule.
+  const std::string rng = "int r = std::rand();\n";
+  EXPECT_EQ(rule_ids(lint_source("src/serve/cache.cpp", rng, nullptr)),
+            std::vector<std::string>{"det-rand"});
+  const std::string clock = "long t = time(nullptr);\n";
+  EXPECT_EQ(rule_ids(lint_source("src/serve/server.cpp", clock, nullptr)),
+            std::vector<std::string>{"det-wall-clock"});
+  const std::string hot = "inline int f(int i) {\n  if (i < 0) throw i;\n  return i;\n}\n";
+  EXPECT_EQ(rule_ids(lint_source("src/serve/cache.hpp", hot, nullptr)),
+            std::vector<std::string>{"contract-throw-header"});
+  // .cpp files keep their throws: protocol errors are exceptional by
+  // design, only headers are hot-path.
+  EXPECT_TRUE(lint_source("src/serve/protocol.cpp", hot, nullptr).empty());
+}
+
 TEST(LintRules, ValidAnnotationSuppressesOnlyItsRuleAndLines) {
   const std::string annotated =
       "// p8lint: allow(conc-weak-atomic) stats-only counter here\n"
